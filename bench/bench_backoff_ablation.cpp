@@ -1,0 +1,82 @@
+// Ablation (DESIGN.md §5): what truncated exponential backoff buys a CAS
+// retry loop under contention. The contended object is a single counter
+// advanced by CAS — the same retry structure every §2 queue uses on its
+// positioning counters — measured with Backoff, with a bare yield
+// (NoBackoff), and with nothing at all.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/clock.hpp"
+#include "sync/backoff.hpp"
+
+namespace {
+
+template <typename Policy>
+double contended_cas_mops(std::size_t threads, std::uint64_t per_thread) {
+  std::atomic<std::uint64_t> counter{0};
+  std::atomic<std::uint64_t> attempts{0};
+  membq::SpinBarrier barrier(threads + 1);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      Policy backoff;
+      std::uint64_t local_attempts = 0;
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        while (true) {
+          ++local_attempts;
+          std::uint64_t cur = counter.load(std::memory_order_relaxed);
+          if (counter.compare_exchange_weak(cur, cur + 1,
+                                            std::memory_order_acq_rel)) {
+            backoff.reset();
+            break;
+          }
+          backoff.pause();
+        }
+      }
+      attempts.fetch_add(local_attempts);
+    });
+  }
+  barrier.arrive_and_wait();
+  membq::Stopwatch watch;
+  for (auto& w : workers) w.join();
+  const double secs = watch.elapsed_s();
+  std::printf("    attempts/op = %.3f\n",
+              static_cast<double>(attempts.load()) /
+                  static_cast<double>(threads * per_thread));
+  return static_cast<double>(threads * per_thread) / secs / 1e6;
+}
+
+struct NoPolicy {
+  void pause() noexcept {}
+  void reset() noexcept {}
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kPerThread = 100000;
+  std::printf("=== ablation: backoff policy on a contended CAS counter ===\n");
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    std::printf("T=%zu\n", threads);
+    std::printf("  exponential backoff:\n");
+    const double a = contended_cas_mops<membq::Backoff>(threads, kPerThread);
+    std::printf("    %.2f Mops/s\n", a);
+    std::printf("  yield only (NoBackoff):\n");
+    const double b = contended_cas_mops<membq::NoBackoff>(threads, kPerThread);
+    std::printf("    %.2f Mops/s\n", b);
+    std::printf("  no policy (raw spin):\n");
+    const double c = contended_cas_mops<NoPolicy>(threads, kPerThread);
+    std::printf("    %.2f Mops/s\n", c);
+  }
+  std::printf(
+      "\nOn a multi-core box raw spinning collapses as T grows while the\n"
+      "backoff series stays flat; on a single-core box the yield-based\n"
+      "policies dominate because a failed CAS there means the winner holds\n"
+      "the only CPU.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E13 — primitive costs: DCSS vs plain CAS vs software LL/SC. Quantifies
+// what the §2 algorithms pay per slot update for their ABA protection.
+// google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "sync/dcss.hpp"
+#include "sync/llsc.hpp"
+
+namespace {
+
+void BM_PlainCas(benchmark::State& state) {
+  std::atomic<std::uint64_t> a{0};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    std::uint64_t expected = v;
+    benchmark::DoNotOptimize(a.compare_exchange_strong(expected, ++v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PlainCas);
+
+void BM_Dcss(benchmark::State& state) {
+  static membq::DcssDomain domain;
+  membq::DcssDomain::ThreadHandle th(domain);
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{7};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(th.dcss(&a, v, v + 1, &b, 7));
+    ++v;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Dcss);
+
+void BM_DcssFailingSecondComparand(benchmark::State& state) {
+  static membq::DcssDomain domain;
+  membq::DcssDomain::ThreadHandle th(domain);
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(th.dcss(&a, 0, 1, &b, 99));  // always fails
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DcssFailingSecondComparand);
+
+void BM_DcssRead(benchmark::State& state) {
+  static membq::DcssDomain domain;
+  std::atomic<std::uint64_t> a{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(domain.read(&a));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DcssRead);
+
+void BM_LlscPair(benchmark::State& state) {
+  membq::LLSCCell cell(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    const auto link = cell.ll();
+    benchmark::DoNotOptimize(cell.sc(link, ++v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LlscPair);
+
+}  // namespace
+
+BENCHMARK_MAIN();

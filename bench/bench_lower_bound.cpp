@@ -1,0 +1,54 @@
+// E7 / E7b / E14 — the Theorem 3.12 table: for each constant-overhead
+// target, run the mechanized adversarial schedule and print the verdict row
+// (poised CAS fired? victim fooled? linearizable?). The checker's state
+// count doubles as the "cost of certification" column.
+
+#include <cstdio>
+
+#include "adversary/lower_bound.hpp"
+
+namespace {
+
+void print_row(const char* label, const membq::adversary::AttackReport& r) {
+  std::printf("%-34s %8zu %10s %10s %18s %10llu\n", label, r.capacity,
+              r.poised_cas_fired ? "fired" : "failed",
+              r.victim_reported_success ? "true" : "false",
+              r.check.linearizable ? "linearizable" : "NOT-LINEARIZABLE",
+              (unsigned long long)r.check.states_explored);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E7/E7b/E14: Theorem 3.12 adversarial executions ===\n");
+  std::printf("%-34s %8s %10s %10s %18s %10s\n", "target (schedule)", "C",
+              "staleCAS", "enq(y)->", "verdict", "states");
+  for (std::size_t c : {2, 3, 4, 6, 8}) {
+    print_row("naive-ring (1-round sleep)",
+              membq::adversary::attack_naive_ring(c));
+  }
+  for (std::size_t c : {3, 4, 6}) {
+    print_row("tsigas-zhang (2-round sleep)",
+              membq::adversary::attack_tsigas_zhang(c, 2));
+  }
+  for (std::size_t c : {3, 4, 6}) {
+    print_row("tsigas-zhang (1-round sleep)",
+              membq::adversary::attack_tsigas_zhang(c, 1));
+  }
+  for (std::size_t c : {3, 4, 6}) {
+    print_row("distinct-L2 control (1-round)",
+              membq::adversary::attack_distinct(c));
+  }
+  for (std::size_t v : {1, 2, 4}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "naive-ring multi (%zu victims)", v);
+    print_row(label, membq::adversary::attack_naive_ring_multi(6, v));
+  }
+  std::printf(
+      "\nReading: a 'fired' stale CAS plus a NOT-LINEARIZABLE verdict is the"
+      "\npaper's lower bound in action; the distinct(L2) control rows show"
+      "\nthe versioned-bottom assumption defeating the same schedule, and"
+      "\nthe 1-round Tsigas-Zhang rows show its two nulls surviving exactly"
+      "\none round of staleness (and no more).\n");
+  return 0;
+}

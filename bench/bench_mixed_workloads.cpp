@@ -1,0 +1,34 @@
+// E15 — throughput shape under skewed and bursty mixes: enqueue-heavy
+// pushes every queue against its full-path, dequeue-heavy against its
+// empty-path, bursty against round transitions (segment boundaries, cycle
+// flips, versioned-⊥ round bumps).
+
+#include <cstdio>
+
+#include "workload/driver.hpp"
+#include "workload/registry.hpp"
+
+int main() {
+  using namespace membq::workload;
+
+  constexpr std::size_t kCapacity = 1024;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kOps = 50000;
+
+  std::printf("=== E15: workload mixes (C = %zu, T = %zu) ===\n", kCapacity,
+              kThreads);
+  for (Mix mix : {Mix::kBalanced, Mix::kEnqueueHeavy, Mix::kDequeueHeavy,
+                  Mix::kPairwise, Mix::kBursty}) {
+    RunConfig cfg;
+    cfg.threads = kThreads;
+    cfg.ops_per_thread = kOps;
+    cfg.mix = mix;
+    cfg.prefill = kCapacity / 2;
+    for (const auto& q : all_queues()) {
+      const RunResult r = q.run(kCapacity, cfg);
+      std::printf("%s\n", r.format().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

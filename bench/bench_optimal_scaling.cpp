@@ -1,0 +1,62 @@
+// E11 — the paper's stated open question, measured: the memory-optimal
+// queue pays Θ(T) time per operation because readElem/findOp scan the
+// T-slot announcement array. We sweep the T parameter (announcement size)
+// with a single active thread, so the growth is pure scan cost, not
+// contention. google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/vyukov_queue.hpp"
+#include "core/optimal_queue.hpp"
+
+namespace {
+
+void BM_OptimalEnqDeq_vs_T(benchmark::State& state) {
+  const auto t_param = static_cast<std::size_t>(state.range(0));
+  membq::OptimalQueue q(/*capacity=*/1024, /*max_threads=*/t_param);
+  membq::OptimalQueue::Handle h(q);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.try_enqueue(v++));
+    std::uint64_t out = 0;
+    benchmark::DoNotOptimize(h.try_dequeue(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+  state.counters["T"] = static_cast<double>(t_param);
+}
+BENCHMARK(BM_OptimalEnqDeq_vs_T)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Control: a Θ(C)-overhead queue with O(1)-time ops does NOT scale with any
+// T parameter — the contrast line for the open question.
+void BM_VyukovEnqDeq_control(benchmark::State& state) {
+  membq::VyukovQueue q(1024);
+  membq::VyukovQueue::Handle h(q);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.try_enqueue(v++));
+    std::uint64_t out = 0;
+    benchmark::DoNotOptimize(h.try_dequeue(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_VyukovEnqDeq_control);
+
+// The capacity control: optimal queue time must NOT grow with C (only
+// with T) — memory-optimality costs announcement scans, not ring walks.
+void BM_OptimalEnqDeq_vs_C(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  membq::OptimalQueue q(capacity, /*max_threads=*/16);
+  membq::OptimalQueue::Handle h(q);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.try_enqueue(v++));
+    std::uint64_t out = 0;
+    benchmark::DoNotOptimize(h.try_dequeue(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_OptimalEnqDeq_vs_C)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

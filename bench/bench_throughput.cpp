@@ -1,0 +1,69 @@
+// E10 / E12 — throughput across every queue and thread count, balanced MPMC
+// mix plus the SPSC relaxation series. The paper's motivating shape: compact
+// (memory-friendly) queues beat node-per-element designs under contention,
+// the blocking queue falls behind scalable ones as T grows, and the SPSC
+// relaxation buys back everything when the application allows it.
+//
+// Absolute numbers are machine-dependent; the series ORDER is the claim.
+
+#include <cstdio>
+
+#include "baselines/role_rings.hpp"
+#include "baselines/spsc_ring.hpp"
+#include "common/pinning.hpp"
+#include "workload/driver.hpp"
+#include "workload/registry.hpp"
+
+int main() {
+  using namespace membq::workload;
+
+  constexpr std::size_t kCapacity = 4096;
+  constexpr std::size_t kOps = 200000;
+
+  std::printf("=== E10: balanced MPMC throughput (C = %zu, %zu ops/thread, "
+              "%zu cpu(s) online) ===\n",
+              kCapacity, kOps, membq::online_cpus());
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    RunConfig cfg;
+    cfg.threads = threads;
+    cfg.ops_per_thread = kOps / threads;
+    cfg.mix = Mix::kBalanced;
+    cfg.prefill = kCapacity / 2;
+    for (const auto& q : all_queues()) {
+      const RunResult r = q.run(kCapacity, cfg);
+      std::printf("%s\n", r.format().c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("=== E12: SPSC relaxation (Discussion §5, restriction 1) ===\n");
+  {
+    // The SPSC ring runs the pairwise mix with exactly 2 threads; compare
+    // with the general MPMC queues on the same workload.
+    RunConfig cfg;
+    cfg.threads = 2;
+    cfg.ops_per_thread = kOps;
+    cfg.mix = Mix::kPairwise;
+    cfg.prefill = kCapacity / 2;
+    {
+      membq::SpscRing q(kCapacity);
+      const RunResult r = run_workload(q, cfg);
+      std::printf("%s\n", r.format().c_str());
+    }
+    {
+      membq::MpscRing q(kCapacity);  // T=2 pairwise: exactly one consumer
+      const RunResult r = run_workload(q, cfg);
+      std::printf("%s\n", r.format().c_str());
+    }
+    {
+      membq::SpmcRing q(kCapacity);  // T=2 pairwise: exactly one producer
+      const RunResult r = run_workload(q, cfg);
+      std::printf("%s\n", r.format().c_str());
+    }
+    for (const auto& q : all_queues()) {
+      const RunResult r = q.run(kCapacity, cfg);
+      std::printf("%s\n", r.format().c_str());
+    }
+  }
+  return 0;
+}
