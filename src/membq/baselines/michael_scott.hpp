@@ -1,0 +1,167 @@
+// Baseline — Michael–Scott linked queue, node per element: Θ(n) overhead.
+//
+// The classic lock-free queue the paper uses as the memory-unfriendly
+// extreme: every element costs a heap node plus a next pointer. Bounded
+// here by an approximate size counter so it fits the try_enqueue/
+// try_dequeue harness. ABA and use-after-free are handled the 1996 way:
+// 128-bit counted pointers everywhere and a Treiber freelist that recycles
+// nodes without returning them to the allocator until destruction, so a
+// stale pointer always targets valid (if recycled) memory and its tagged
+// CAS fails.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace membq {
+
+class MichaelScottQueue {
+ public:
+  static constexpr char kName[] = "michael-scott";
+
+  explicit MichaelScottQueue(std::size_t capacity) : cap_(capacity) {
+    assert(capacity > 0);
+    Node* dummy = new Node();
+    head_.store(Ptr{dummy, 0}, std::memory_order_relaxed);
+    tail_.store(Ptr{dummy, 0}, std::memory_order_relaxed);
+    free_.store(Ptr{nullptr, 0}, std::memory_order_relaxed);
+  }
+
+  ~MichaelScottQueue() {
+    Node* n = head_.load(std::memory_order_relaxed).ptr;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed).ptr;
+      delete n;
+      n = next;
+    }
+    n = free_.load(std::memory_order_relaxed).ptr;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed).ptr;
+      delete n;
+      n = next;
+    }
+  }
+
+  MichaelScottQueue(const MichaelScottQueue&) = delete;
+  MichaelScottQueue& operator=(const MichaelScottQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  bool try_enqueue(std::uint64_t v) {
+    if (size_.fetch_add(1, std::memory_order_acq_rel) >=
+        static_cast<std::uint64_t>(cap_)) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+    Node* n = take_node();
+    n->value.store(v, std::memory_order_relaxed);
+    for (;;) {
+      Ptr tail = tail_.load(std::memory_order_acquire);
+      Ptr next = tail.ptr->next.load(std::memory_order_acquire);
+      if (!same(tail, tail_.load(std::memory_order_acquire))) continue;
+      if (next.ptr == nullptr) {
+        if (tail.ptr->next.compare_exchange_weak(
+                next, Ptr{n, next.tag + 1}, std::memory_order_acq_rel)) {
+          Ptr expected = tail;
+          tail_.compare_exchange_strong(expected, Ptr{n, tail.tag + 1},
+                                        std::memory_order_acq_rel);
+          return true;
+        }
+      } else {
+        Ptr expected = tail;
+        tail_.compare_exchange_strong(expected, Ptr{next.ptr, tail.tag + 1},
+                                      std::memory_order_acq_rel);
+      }
+    }
+  }
+
+  bool try_dequeue(std::uint64_t& out) {
+    for (;;) {
+      Ptr head = head_.load(std::memory_order_acquire);
+      Ptr tail = tail_.load(std::memory_order_acquire);
+      Ptr next = head.ptr->next.load(std::memory_order_acquire);
+      if (!same(head, head_.load(std::memory_order_acquire))) continue;
+      if (head.ptr == tail.ptr) {
+        if (next.ptr == nullptr) return false;  // empty
+        Ptr expected = tail;
+        tail_.compare_exchange_strong(expected, Ptr{next.ptr, tail.tag + 1},
+                                      std::memory_order_acq_rel);
+      } else {
+        const std::uint64_t v = next.ptr->value.load(std::memory_order_relaxed);
+        Ptr expected = head;
+        if (head_.compare_exchange_weak(expected, Ptr{next.ptr, head.tag + 1},
+                                        std::memory_order_acq_rel)) {
+          size_.fetch_sub(1, std::memory_order_acq_rel);
+          recycle_node(head.ptr);
+          out = v;
+          return true;
+        }
+      }
+    }
+  }
+
+  class Handle {
+   public:
+    explicit Handle(MichaelScottQueue& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) { return q_.try_dequeue(out); }
+
+   private:
+    MichaelScottQueue& q_;
+  };
+
+ private:
+  struct Node;
+
+  struct alignas(2 * sizeof(void*)) Ptr {
+    Node* ptr;
+    std::uint64_t tag;
+  };
+
+  struct Node {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<Ptr> next{Ptr{nullptr, 0}};
+  };
+
+  static bool same(const Ptr& a, const Ptr& b) noexcept {
+    return a.ptr == b.ptr && a.tag == b.tag;
+  }
+
+  Node* take_node() {
+    for (;;) {
+      Ptr top = free_.load(std::memory_order_acquire);
+      if (top.ptr == nullptr) return new Node();
+      Ptr next = top.ptr->next.load(std::memory_order_acquire);
+      Ptr expected = top;
+      if (free_.compare_exchange_weak(expected, Ptr{next.ptr, top.tag + 1},
+                                      std::memory_order_acq_rel)) {
+        Ptr fresh = top.ptr->next.load(std::memory_order_relaxed);
+        top.ptr->next.store(Ptr{nullptr, fresh.tag + 1},
+                            std::memory_order_relaxed);
+        return top.ptr;
+      }
+    }
+  }
+
+  void recycle_node(Node* n) {
+    for (;;) {
+      Ptr top = free_.load(std::memory_order_acquire);
+      Ptr fresh = n->next.load(std::memory_order_relaxed);
+      n->next.store(Ptr{top.ptr, fresh.tag + 1}, std::memory_order_relaxed);
+      Ptr expected = top;
+      if (free_.compare_exchange_weak(expected, Ptr{n, top.tag + 1},
+                                      std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+  const std::size_t cap_;
+  alignas(64) std::atomic<Ptr> head_;
+  alignas(64) std::atomic<Ptr> tail_;
+  alignas(64) std::atomic<Ptr> free_;
+  alignas(64) std::atomic<std::uint64_t> size_{0};
+};
+
+}  // namespace membq

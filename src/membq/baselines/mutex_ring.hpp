@@ -1,0 +1,60 @@
+// Baseline — mutex-protected ring: the blocking Θ(1)-overhead queue.
+//
+// The simplest correct bounded queue: a plain array, two indices, one
+// lock. Memory-optimal but serial; the throughput benches use it as the
+// floor the scalable designs must beat as T grows.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace membq {
+
+class MutexRing {
+ public:
+  static constexpr char kName[] = "mutex(seq+lock)";
+
+  explicit MutexRing(std::size_t capacity)
+      : cap_(capacity), buf_(new std::uint64_t[capacity]) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  bool try_enqueue(std::uint64_t v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tail_ - head_ >= cap_) return false;
+    buf_[tail_ % cap_] = v;
+    ++tail_;
+    return true;
+  }
+
+  bool try_dequeue(std::uint64_t& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tail_ <= head_) return false;
+    out = buf_[head_ % cap_];
+    ++head_;
+    return true;
+  }
+
+  class Handle {
+   public:
+    explicit Handle(MutexRing& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) { return q_.try_dequeue(out); }
+
+   private:
+    MutexRing& q_;
+  };
+
+ private:
+  const std::size_t cap_;
+  std::unique_ptr<std::uint64_t[]> buf_;
+  std::mutex mu_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace membq

@@ -1,0 +1,155 @@
+// Baselines — role-restricted rings: MPSC and SPMC relaxations.
+//
+// Between the general MPMC ring and the Lamport SPSC ring sit the two
+// half-relaxations: the contended side keeps Vyukov-style per-slot
+// sequencing, the single-threaded side drops its CAS and advances its
+// index with a plain store. Used by the E12 relaxation series.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace membq {
+
+namespace detail {
+
+struct SeqCell {
+  std::atomic<std::uint64_t> seq{0};
+  std::uint64_t value = 0;
+};
+
+}  // namespace detail
+
+// Many producers (Vyukov enqueue path), one consumer (plain index).
+class MpscRing {
+ public:
+  static constexpr char kName[] = "mpsc(ring)";
+
+  explicit MpscRing(std::size_t capacity) : cap_(capacity), cells_(capacity) {
+    assert(capacity > 0);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  bool try_enqueue(std::uint64_t v) noexcept {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      detail::SeqCell& cell = cells_[pos % cap_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = v;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Single consumer: no CAS on the head index.
+  bool try_dequeue(std::uint64_t& out) noexcept {
+    detail::SeqCell& cell = cells_[head_ % cap_];
+    if (cell.seq.load(std::memory_order_acquire) != head_ + 1) return false;
+    out = cell.value;
+    cell.seq.store(head_ + cap_, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  class Handle {
+   public:
+    explicit Handle(MpscRing& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) noexcept {
+      return q_.try_dequeue(out);
+    }
+
+   private:
+    MpscRing& q_;
+  };
+
+ private:
+  const std::size_t cap_;
+  std::vector<detail::SeqCell> cells_;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::uint64_t head_ = 0;  // consumer-private
+};
+
+// One producer (plain index), many consumers (Vyukov dequeue path).
+class SpmcRing {
+ public:
+  static constexpr char kName[] = "spmc(ring)";
+
+  explicit SpmcRing(std::size_t capacity) : cap_(capacity), cells_(capacity) {
+    assert(capacity > 0);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  // Single producer: no CAS on the tail index.
+  bool try_enqueue(std::uint64_t v) noexcept {
+    detail::SeqCell& cell = cells_[tail_ % cap_];
+    if (cell.seq.load(std::memory_order_acquire) != tail_) return false;
+    cell.value = v;
+    cell.seq.store(tail_ + 1, std::memory_order_release);
+    ++tail_;
+    return true;
+  }
+
+  bool try_dequeue(std::uint64_t& out) noexcept {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      detail::SeqCell& cell = cells_[pos % cap_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = cell.value;
+          cell.seq.store(pos + cap_, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  class Handle {
+   public:
+    explicit Handle(SpmcRing& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) noexcept {
+      return q_.try_dequeue(out);
+    }
+
+   private:
+    SpmcRing& q_;
+  };
+
+ private:
+  const std::size_t cap_;
+  std::vector<detail::SeqCell> cells_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::uint64_t tail_ = 0;  // producer-private
+};
+
+}  // namespace membq

@@ -1,0 +1,117 @@
+// Baseline — SCQ-style cycle-tagged ring, Θ(C) overhead.
+//
+// The scalable-circular-queue family tags every slot with the ring cycle
+// it belongs to and lets threads race ahead with fetch-and-add-shaped
+// helping on the positioning counters. We keep the cycle tag in a second
+// word next to the value and update both with one double-width CAS:
+//   state 2r   — slot empty, ready for round r's enqueue
+//   state 2r+1 — slot holds round r's value
+// The explicit cycle is what distinguishes this family from Vyukov's
+// store-published sequence (and like it, costs Θ(C) metadata).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sync/backoff.hpp"
+
+namespace membq {
+
+class ScqRing {
+ public:
+  static constexpr char kName[] = "scq(faa-ring)";
+
+  explicit ScqRing(std::size_t capacity) : cap_(capacity), cells_(capacity) {
+    assert(capacity > 0);
+    for (auto& c : cells_) c.store(Entry{0, 0}, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  bool try_enqueue(std::uint64_t v) noexcept {
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t t = tail_.load();
+      const std::uint64_t h = head_.load();
+      Entry cur = cells_[t % cap_].load();
+      if (t != tail_.load()) continue;
+      const std::uint64_t round = t / cap_;
+      if (cur.state == 2 * round) {
+        if (cells_[t % cap_].compare_exchange_strong(
+                cur, Entry{2 * round + 1, v})) {
+          advance(tail_, t);
+          return true;
+        }
+        backoff.pause();
+        continue;
+      }
+      if (cur.state == 2 * round + 1) {
+        advance(tail_, t);  // ticket t already enqueued; help
+        continue;
+      }
+      // Slot still carries an older cycle: full once the counters agree.
+      if (t - h >= cap_) return false;
+      backoff.pause();
+    }
+  }
+
+  bool try_dequeue(std::uint64_t& out) noexcept {
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t h = head_.load();
+      const std::uint64_t t = tail_.load();
+      Entry cur = cells_[h % cap_].load();
+      if (h != head_.load()) continue;
+      const std::uint64_t round = h / cap_;
+      if (cur.state == 2 * round + 1) {
+        if (cells_[h % cap_].compare_exchange_strong(
+                cur, Entry{2 * (round + 1), 0})) {
+          advance(head_, h);
+          out = cur.value;
+          return true;
+        }
+        backoff.pause();
+        continue;
+      }
+      if (cur.state == 2 * (round + 1)) {
+        advance(head_, h);  // ticket h already dequeued; help
+        continue;
+      }
+      if (t <= h) return false;  // empty
+      backoff.pause();
+    }
+  }
+
+  class Handle {
+   public:
+    explicit Handle(ScqRing& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) noexcept {
+      return q_.try_dequeue(out);
+    }
+
+   private:
+    ScqRing& q_;
+  };
+
+ private:
+  struct alignas(2 * sizeof(std::uint64_t)) Entry {
+    std::uint64_t state;
+    std::uint64_t value;
+  };
+
+  static void advance(std::atomic<std::uint64_t>& counter,
+                      std::uint64_t seen) noexcept {
+    std::uint64_t expected = seen;
+    counter.compare_exchange_strong(expected, seen + 1);
+  }
+
+  const std::size_t cap_;
+  std::vector<std::atomic<Entry>> cells_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace membq

@@ -1,0 +1,66 @@
+// Baseline — Lamport single-producer/single-consumer ring, Θ(1) overhead.
+//
+// The paper's Discussion §5, restriction 1: when the application can
+// promise one producer and one consumer, the ring needs no per-slot
+// metadata and no RMW at all — two monotone indices with acquire/release
+// publication are enough.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace membq {
+
+class SpscRing {
+ public:
+  static constexpr char kName[] = "spsc(lamport)";
+
+  explicit SpscRing(std::size_t capacity)
+      : cap_(capacity), buf_(new std::uint64_t[capacity]) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  // Producer side only.
+  bool try_enqueue(std::uint64_t v) noexcept {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (t - h >= cap_) return false;
+    buf_[t % cap_] = v;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side only.
+  bool try_dequeue(std::uint64_t& out) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (t <= h) return false;
+    out = buf_[h % cap_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  class Handle {
+   public:
+    explicit Handle(SpscRing& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) noexcept {
+      return q_.try_dequeue(out);
+    }
+
+   private:
+    SpscRing& q_;
+  };
+
+ private:
+  const std::size_t cap_;
+  std::unique_ptr<std::uint64_t[]> buf_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace membq

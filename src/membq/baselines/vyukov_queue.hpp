@@ -1,0 +1,100 @@
+// Baseline — Vyukov's bounded MPMC queue: one sequence word per slot.
+//
+// The canonical industrial design the paper files under Θ(C) overhead:
+// every slot carries a 64-bit sequence number that encodes which round the
+// slot is ready for, so enqueuers and dequeuers never touch a stale slot.
+// Fast and simple, but the per-slot metadata is exactly the linear-in-C
+// memory the paper's designs try to eliminate.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace membq {
+
+class VyukovQueue {
+ public:
+  static constexpr char kName[] = "vyukov(perslot-seq)";
+
+  explicit VyukovQueue(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
+    assert(capacity > 0);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  bool try_enqueue(std::uint64_t v) noexcept {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos % cap_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = v;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // pos reloaded by the failed CAS; retry.
+      } else if (dif < 0) {
+        return false;  // slot still holds the previous round: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_dequeue(std::uint64_t& out) noexcept {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos % cap_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = cell.value;
+          cell.seq.store(pos + cap_, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // slot not yet published: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  class Handle {
+   public:
+    explicit Handle(VyukovQueue& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) noexcept {
+      return q_.try_dequeue(out);
+    }
+
+   private:
+    VyukovQueue& q_;
+  };
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    std::uint64_t value = 0;
+  };
+
+  const std::size_t cap_;
+  std::vector<Cell> cells_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace membq

@@ -1,0 +1,40 @@
+// Reusable spin barrier used to line threads up at workload start.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace membq {
+
+// Generation-counted barrier: arrive_and_wait() may be called any number of
+// rounds. Spins with yield so it behaves on machines with fewer cores than
+// waiters (including the 1-cpu CI case).
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t participants) noexcept
+      : participants_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const std::size_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::size_t> generation_{0};
+};
+
+}  // namespace membq

@@ -1,0 +1,39 @@
+// Monotonic timing helpers for the workload driver and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace membq {
+
+// Wall-clock stopwatch over std::chrono::steady_clock. Starts on
+// construction; elapsed_*() may be called repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ns() const noexcept {
+    return std::chrono::duration<double, std::nano>(Clock::now() - start_)
+        .count();
+  }
+
+  // Raw monotonic timestamp in nanoseconds, for per-op latency sampling.
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace membq

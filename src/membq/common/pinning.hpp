@@ -1,0 +1,16 @@
+// CPU topology queries and thread pinning.
+#pragma once
+
+#include <cstddef>
+
+namespace membq {
+
+// Number of CPUs currently online (>= 1).
+std::size_t online_cpus() noexcept;
+
+// Pin the calling thread to `cpu % online_cpus()`. Returns false when the
+// platform does not support affinity or the syscall fails; callers treat
+// pinning as best-effort.
+bool pin_current_thread(std::size_t cpu) noexcept;
+
+}  // namespace membq

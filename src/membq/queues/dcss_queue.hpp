@@ -1,0 +1,110 @@
+// L4 — bounded ring protected by DCSS on the positioning counters, Θ(T).
+//
+// Cells are plain 64-bit words holding a value or a single reserved ⊥; no
+// per-cell versions. A slot write is a DCSS whose second comparand is the
+// positioning counter (tail for enqueue, head for dequeue), so a thread
+// that slept through a ring round cannot land a stale CAS — the scenario
+// Theorem 3.12 uses to kill constant-overhead CAS rings. The memory price
+// is the DCSS descriptor pool: one descriptor per thread, Θ(T).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sync/backoff.hpp"
+#include "sync/dcss.hpp"
+
+namespace membq {
+
+class DcssQueue {
+ public:
+  static constexpr char kName[] = "dcss(L4)";
+  // Bit 63 is the DCSS marker bit; ⊥ lives just below it.
+  static constexpr std::uint64_t kBot = std::uint64_t{1} << 62;
+
+  explicit DcssQueue(std::size_t capacity,
+                     std::size_t max_threads = DcssDomain::kDefaultMaxThreads)
+      : cap_(capacity), cells_(capacity), domain_(max_threads) {
+    assert(capacity > 0);
+    for (auto& c : cells_) c.store(kBot, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+  DcssDomain& domain() noexcept { return domain_; }
+
+  class Handle {
+   public:
+    explicit Handle(DcssQueue& q) : q_(q), th_(q.domain_) {}
+
+    bool try_enqueue(std::uint64_t v) noexcept {
+      assert(v < kBot && "values must stay below the reserved range");
+      Backoff backoff;
+      DcssQueue& q = q_;
+      for (;;) {
+        const std::uint64_t t = q.tail_.load();
+        const std::uint64_t h = q.head_.load();
+        const std::uint64_t cur = q.domain_.read(&q.cells_[t % q.cap_]);
+        if (t != q.tail_.load()) continue;
+        if (cur == kBot) {
+          // Fullness gate on the empty-cell path: ⊥ may mean a vacated
+          // cell whose dequeuer has not yet advanced head (the DCSS only
+          // guards tail, not head).
+          if (t - h >= q.cap_) return false;
+          if (th_.dcss(&q.cells_[t % q.cap_], kBot, v, &q.tail_, t)) {
+            advance(q.tail_, t);
+            return true;
+          }
+          backoff.pause();
+          continue;
+        }
+        if (t - h >= q.cap_) return false;  // full
+        advance(q.tail_, t);                // ticket t already written; help
+      }
+    }
+
+    bool try_dequeue(std::uint64_t& out) noexcept {
+      Backoff backoff;
+      DcssQueue& q = q_;
+      for (;;) {
+        const std::uint64_t h = q.head_.load();
+        const std::uint64_t t = q.tail_.load();
+        const std::uint64_t cur = q.domain_.read(&q.cells_[h % q.cap_]);
+        if (h != q.head_.load()) continue;
+        if (cur != kBot) {
+          if (th_.dcss(&q.cells_[h % q.cap_], cur, kBot, &q.head_, h)) {
+            advance(q.head_, h);
+            out = cur;
+            return true;
+          }
+          backoff.pause();
+          continue;
+        }
+        if (t <= h) return false;  // empty
+        advance(q.head_, h);       // ticket h already dequeued; help
+      }
+    }
+
+   private:
+    DcssQueue& q_;
+    DcssDomain::ThreadHandle th_;
+  };
+
+ private:
+  friend class Handle;
+
+  static void advance(std::atomic<std::uint64_t>& counter,
+                      std::uint64_t seen) noexcept {
+    std::uint64_t expected = seen;
+    counter.compare_exchange_strong(expected, seen + 1);
+  }
+
+  const std::size_t cap_;
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  DcssDomain domain_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace membq

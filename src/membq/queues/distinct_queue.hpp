@@ -1,0 +1,129 @@
+// L2 — bounded ring under the distinct-values assumption, Θ(1) overhead.
+//
+// Each cell is one 64-bit word holding either a user value (bit 63 clear)
+// or a versioned bottom ⊥_r (bit 63 set, round number in the low bits).
+// Because applications never enqueue the same value twice concurrently,
+// a CAS from a concrete value cannot ABA, and the round number inside ⊥
+// rejects stale enqueues — so the only memory beyond the C element words
+// is the two positioning counters: Θ(1).
+//
+// Protocol (tickets t on tail, h on head; round = ticket / capacity):
+//   enqueue: cell must hold ⊥_round; CAS it to the value, then help
+//            advance tail. A cell holding a value means either the ticket
+//            is already served (help tail) or the ring is full.
+//   dequeue: cell must hold a value; CAS it to ⊥_{round+1}, then help
+//            advance head. A cell holding ⊥_{round+1} means the ticket is
+//            served (help head); ⊥_round with tail ≤ h means empty.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sync/backoff.hpp"
+
+namespace membq {
+
+class DistinctQueue {
+ public:
+  static constexpr char kName[] = "distinct(L2)";
+  static constexpr std::uint64_t kBotBit = std::uint64_t{1} << 63;
+
+  explicit DistinctQueue(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
+    assert(capacity > 0);
+    for (auto& c : cells_) c.store(bot(0), std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  bool try_enqueue(std::uint64_t v) noexcept {
+    assert((v & kBotBit) == 0 && "values must keep bit 63 clear");
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t t = tail_.load();
+      const std::uint64_t h = head_.load();
+      std::uint64_t cur = cells_[t % cap_].load();
+      if (t != tail_.load()) continue;
+      const std::uint64_t round = t / cap_;
+      if (is_bot(cur)) {
+        // Fullness gate on the empty-cell path too: the cell can read
+        // ⊥_round while a dequeuer that vacated it has not yet advanced
+        // head. Writing then would land a wrapped value under a head
+        // ticket another dequeuer may still serve.
+        if (t - h >= cap_) return false;
+        if (bot_round(cur) == round &&
+            cells_[t % cap_].compare_exchange_strong(cur, v)) {
+          advance(tail_, t);
+          return true;
+        }
+        backoff.pause();
+        continue;
+      }
+      // Cell holds a value: ring full, or ticket t already written.
+      if (t - h >= cap_) return false;
+      advance(tail_, t);
+    }
+  }
+
+  bool try_dequeue(std::uint64_t& out) noexcept {
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t h = head_.load();
+      const std::uint64_t t = tail_.load();
+      std::uint64_t cur = cells_[h % cap_].load();
+      if (h != head_.load()) continue;
+      const std::uint64_t round = h / cap_;
+      if (!is_bot(cur)) {
+        if (cells_[h % cap_].compare_exchange_strong(cur, bot(round + 1))) {
+          advance(head_, h);
+          out = cur;
+          return true;
+        }
+        backoff.pause();
+        continue;
+      }
+      if (bot_round(cur) == round + 1) {
+        advance(head_, h);  // ticket h already dequeued; help
+        continue;
+      }
+      if (t <= h) return false;  // empty
+      backoff.pause();
+    }
+  }
+
+  // Uniform per-thread access point (stateless for this queue).
+  class Handle {
+   public:
+    explicit Handle(DistinctQueue& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) noexcept {
+      return q_.try_dequeue(out);
+    }
+
+   private:
+    DistinctQueue& q_;
+  };
+
+ private:
+  static bool is_bot(std::uint64_t w) noexcept { return (w & kBotBit) != 0; }
+  static std::uint64_t bot(std::uint64_t round) noexcept {
+    return kBotBit | round;
+  }
+  static std::uint64_t bot_round(std::uint64_t w) noexcept {
+    return w & ~kBotBit;
+  }
+  static void advance(std::atomic<std::uint64_t>& counter,
+                      std::uint64_t seen) noexcept {
+    std::uint64_t expected = seen;
+    counter.compare_exchange_strong(expected, seen + 1);
+  }
+
+  const std::size_t cap_;
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace membq

@@ -1,0 +1,107 @@
+// L3 — bounded ring over LL/SC cells, Θ(1) algorithmic overhead.
+//
+// Same ticket protocol as the L2 queue, but the cells are LL/SC cells and
+// ⊥ is a single reserved word with no round number: the store-conditional
+// fails for any thread whose load-linked snapshot is stale, so versioned
+// bottoms are unnecessary. In the paper's model hardware LL/SC makes this
+// queue Θ(1); our software emulation pays 8 bytes per cell for the stamp,
+// reported separately as aux bytes in the overhead tables.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sync/backoff.hpp"
+#include "sync/llsc.hpp"
+
+namespace membq {
+
+class LlscQueue {
+ public:
+  static constexpr char kName[] = "llsc(L3)";
+  static constexpr std::uint64_t kBot = ~std::uint64_t{0};
+
+  explicit LlscQueue(std::size_t capacity) : cap_(capacity), cells_(capacity) {
+    assert(capacity > 0);
+    for (auto& c : cells_) {
+      const auto link = c.ll();
+      c.sc(link, kBot);
+    }
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  bool try_enqueue(std::uint64_t v) noexcept {
+    assert(v != kBot && "kBot is reserved");
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t t = tail_.load();
+      const std::uint64_t h = head_.load();
+      const LLSCCell::Link link = cells_[t % cap_].ll();
+      if (t != tail_.load()) continue;
+      if (link.value == kBot) {
+        // Same fullness gate as the value branch: ⊥ may mean a vacated
+        // cell whose dequeuer has not yet advanced head; writing a
+        // wrapped value there would overlap a still-serving head ticket.
+        if (t - h >= cap_) return false;
+        if (cells_[t % cap_].sc(link, v)) {
+          advance(tail_, t);
+          return true;
+        }
+        backoff.pause();
+        continue;
+      }
+      if (t - h >= cap_) return false;  // full
+      advance(tail_, t);                // ticket t already written; help
+    }
+  }
+
+  bool try_dequeue(std::uint64_t& out) noexcept {
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t h = head_.load();
+      const std::uint64_t t = tail_.load();
+      const LLSCCell::Link link = cells_[h % cap_].ll();
+      if (h != head_.load()) continue;
+      if (link.value != kBot) {
+        if (cells_[h % cap_].sc(link, kBot)) {
+          advance(head_, h);
+          out = link.value;
+          return true;
+        }
+        backoff.pause();
+        continue;
+      }
+      if (t <= h) return false;  // empty
+      advance(head_, h);         // ticket h already dequeued; help
+    }
+  }
+
+  class Handle {
+   public:
+    explicit Handle(LlscQueue& q) noexcept : q_(q) {}
+    bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) noexcept {
+      return q_.try_dequeue(out);
+    }
+
+   private:
+    LlscQueue& q_;
+  };
+
+ private:
+  static void advance(std::atomic<std::uint64_t>& counter,
+                      std::uint64_t seen) noexcept {
+    std::uint64_t expected = seen;
+    counter.compare_exchange_strong(expected, seen + 1);
+  }
+
+  const std::size_t cap_;
+  std::vector<LLSCCell> cells_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace membq

@@ -1,0 +1,58 @@
+// Contention-management policies for CAS retry loops.
+//
+// Every ring queue in membq retries a CAS on a positioning counter or a
+// slot; what a failed attempt should do before retrying is a policy:
+//   Backoff   — truncated exponential spin, falling back to yield once the
+//               spin budget is large (FLeeC-style ExpBackoffCAS shape).
+//   NoBackoff — bare scheduler yield, the ablation baseline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
+namespace membq {
+
+namespace detail {
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+}  // namespace detail
+
+class Backoff {
+ public:
+  static constexpr std::uint32_t kInitialSpins = 4;
+  static constexpr std::uint32_t kMaxSpins = 1024;
+  // Above this budget a failed CAS means we are oversubscribed or badly
+  // contended; burning cycles is worse than letting the winner run.
+  static constexpr std::uint32_t kYieldThreshold = 128;
+
+  void pause() noexcept {
+    if (limit_ <= kYieldThreshold) {
+      for (std::uint32_t i = 0; i < limit_; ++i) detail::cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+    limit_ = std::min(limit_ * 2, kMaxSpins);
+  }
+
+  void reset() noexcept { limit_ = kInitialSpins; }
+
+  // Current truncated-exponential budget; exposed for the monotonicity
+  // tests and the ablation bench.
+  std::uint32_t current_spin_limit() const noexcept { return limit_; }
+
+ private:
+  std::uint32_t limit_ = kInitialSpins;
+};
+
+struct NoBackoff {
+  void pause() noexcept { std::this_thread::yield(); }
+  void reset() noexcept {}
+};
+
+}  // namespace membq

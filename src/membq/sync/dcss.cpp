@@ -1,0 +1,160 @@
+#include "sync/dcss.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace membq {
+
+namespace {
+constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << 48) - 1;
+}  // namespace
+
+namespace {
+
+std::size_t checked_slots(std::size_t max_threads) {
+  if (max_threads > DcssDomain::kMaxSlots) {
+    throw std::invalid_argument(
+        "DcssDomain: max_threads exceeds the 15-bit marker slot field");
+  }
+  return max_threads == 0 ? 1 : max_threads;
+}
+
+}  // namespace
+
+DcssDomain::DcssDomain(std::size_t max_threads)
+    : max_threads_(checked_slots(max_threads)),
+      descriptors_(new Descriptor[max_threads_]),
+      slot_used_(new std::atomic<bool>[max_threads_]) {
+  for (std::size_t i = 0; i < max_threads_; ++i) {
+    slot_used_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+DcssDomain::~DcssDomain() {
+  delete[] descriptors_;
+  delete[] slot_used_;
+}
+
+std::size_t DcssDomain::acquire_slot() {
+  for (std::size_t i = 0; i < max_threads_; ++i) {
+    if (!slot_used_[i].exchange(true, std::memory_order_acq_rel)) {
+      return i;
+    }
+  }
+  throw std::runtime_error(
+      "DcssDomain: more live ThreadHandles than max_threads");
+}
+
+void DcssDomain::release_slot(std::size_t slot) noexcept {
+  slot_used_[slot].store(false, std::memory_order_release);
+}
+
+void DcssDomain::help(std::uint64_t marker) noexcept {
+  const std::size_t slot = static_cast<std::size_t>((marker >> 48) & 0x7fff);
+  const std::uint64_t seq = marker & kSeqMask;
+  if (slot >= max_threads_) return;
+  Descriptor& d = descriptors_[slot];
+
+  if (d.seq.load(std::memory_order_acquire) != seq) return;
+  std::atomic<std::uint64_t>* a1 = d.a1.load(std::memory_order_relaxed);
+  const std::atomic<std::uint64_t>* a2 = d.a2.load(std::memory_order_relaxed);
+  const std::uint64_t e1 = d.e1.load(std::memory_order_relaxed);
+  const std::uint64_t n1 = d.n1.load(std::memory_order_relaxed);
+  const std::uint64_t e2 = d.e2.load(std::memory_order_relaxed);
+  // Seqlock validation: fields only mutate while seq is even, so seeing the
+  // same odd seq on both sides proves the snapshot is this operation's.
+  if (d.seq.load(std::memory_order_acquire) != seq) return;
+
+  // The decision word carries the sequence, so a helper that stalls here
+  // and wakes after the descriptor was recycled cannot decide (or
+  // misread) the next operation: its expected value names the old seq.
+  std::uint64_t decision = d.decision.load(std::memory_order_acquire);
+  if ((decision >> 2) != seq) return;  // recycled
+  if ((decision & 3) == kUndecided) {
+    const std::uint64_t want =
+        (seq << 2) |
+        ((a2->load(std::memory_order_seq_cst) == e2) ? kSucceeded : kFailed);
+    std::uint64_t expected = (seq << 2) | kUndecided;
+    d.decision.compare_exchange_strong(expected, want,
+                                       std::memory_order_acq_rel);
+    decision = d.decision.load(std::memory_order_acquire);
+    if ((decision >> 2) != seq) return;  // recycled under us
+  }
+
+  // If the descriptor was recycled after the decision read, this CAS
+  // expects a marker that was removed before recycling and is never
+  // reissued, so it fails harmlessly.
+  std::uint64_t expected = marker;
+  a1->compare_exchange_strong(
+      expected, (decision & 3) == kSucceeded ? n1 : e1,
+      std::memory_order_seq_cst);
+}
+
+std::uint64_t DcssDomain::read(const std::atomic<std::uint64_t>* addr)
+    noexcept {
+  for (;;) {
+    const std::uint64_t v = addr->load(std::memory_order_seq_cst);
+    if (!is_marker(v)) return v;
+    help(v);
+  }
+}
+
+DcssDomain::ThreadHandle::ThreadHandle(DcssDomain& domain)
+    : domain_(domain), slot_(domain.acquire_slot()) {}
+
+DcssDomain::ThreadHandle::~ThreadHandle() { domain_.release_slot(slot_); }
+
+bool DcssDomain::ThreadHandle::dcss(std::atomic<std::uint64_t>* a1,
+                                    std::uint64_t e1, std::uint64_t n1,
+                                    const std::atomic<std::uint64_t>* a2,
+                                    std::uint64_t e2) noexcept {
+  assert(!is_marker(e1) && !is_marker(n1));
+  Descriptor& d = domain_.descriptors_[slot_];
+
+  const std::uint64_t seq = d.seq.load(std::memory_order_relaxed) + 1;
+  d.a1.store(a1, std::memory_order_relaxed);
+  d.a2.store(a2, std::memory_order_relaxed);
+  d.e1.store(e1, std::memory_order_relaxed);
+  d.n1.store(n1, std::memory_order_relaxed);
+  d.e2.store(e2, std::memory_order_relaxed);
+  d.decision.store((seq << 2) | kUndecided, std::memory_order_relaxed);
+  d.seq.store(seq, std::memory_order_release);  // activate descriptor
+
+  const std::uint64_t marker = domain_.make_marker(slot_, seq);
+  bool published = false;
+  std::uint64_t expected = e1;
+  for (;;) {
+    if (a1->compare_exchange_strong(expected, marker,
+                                    std::memory_order_seq_cst)) {
+      published = true;
+      break;
+    }
+    if (is_marker(expected)) {
+      domain_.help(expected);
+      expected = e1;
+      continue;
+    }
+    break;  // *a1 holds a real value != e1: first comparand fails
+  }
+
+  bool ok = false;
+  if (published) {
+    const std::uint64_t want =
+        (seq << 2) |
+        ((a2->load(std::memory_order_seq_cst) == e2) ? kSucceeded : kFailed);
+    std::uint64_t undecided = (seq << 2) | kUndecided;
+    d.decision.compare_exchange_strong(undecided, want,
+                                       std::memory_order_acq_rel);
+    ok = d.decision.load(std::memory_order_acquire) ==
+         ((seq << 2) | kSucceeded);
+    std::uint64_t m = marker;
+    a1->compare_exchange_strong(m, ok ? n1 : e1, std::memory_order_seq_cst);
+  }
+
+  // Retire: the marker is guaranteed out of *a1 by now (our final CAS or a
+  // helper's), so recycling the descriptor is safe.
+  d.seq.store(seq + 1, std::memory_order_release);
+  return ok;
+}
+
+}  // namespace membq

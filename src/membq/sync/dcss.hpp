@@ -1,0 +1,113 @@
+// Double-Compare Single-Swap over 64-bit words, with lock-free helping.
+//
+// dcss(a1, e1, n1, a2, e2) atomically installs n1 into *a1 iff *a1 == e1
+// AND *a2 == e2; only *a1 is written. This is the primitive behind the
+// paper's L4 queue: the second comparand is a positioning counter, so a
+// thread that slept through a full ring round cannot land a stale value.
+//
+// Implementation follows the Harris/Fraser descriptor scheme specialized
+// to a fixed-size per-thread descriptor pool:
+//   1. the owner publishes a marker (bit 63 set, encoding slot + sequence)
+//     into *a1 by CAS from e1;
+//   2. whoever sees the marker — owner or helper — decides the operation
+//     by reading *a2, records the verdict in the descriptor with a CAS,
+//     and replaces the marker with n1 (success) or e1 (failure).
+// Descriptors are recycled via a per-slot sequence number: a marker whose
+// sequence no longer matches its descriptor is dead and can only fail its
+// final CAS, so helpers never act on reused state.
+//
+// The domain owns max_threads descriptor slots: Θ(T) memory in total,
+// which is exactly the overhead class the L4 queue inherits.
+//
+// Values stored through a DCSS-managed word must keep bit 63 clear; the
+// domain asserts this.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace membq {
+
+class DcssDomain {
+ public:
+  static constexpr std::size_t kDefaultMaxThreads = 64;
+  // The marker encodes the slot in 15 bits (see make_marker).
+  static constexpr std::size_t kMaxSlots = std::size_t{1} << 15;
+  static constexpr std::uint64_t kMarkerBit = std::uint64_t{1} << 63;
+
+  explicit DcssDomain(std::size_t max_threads = kDefaultMaxThreads);
+  ~DcssDomain();
+
+  DcssDomain(const DcssDomain&) = delete;
+  DcssDomain& operator=(const DcssDomain&) = delete;
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+  // Descriptor-free read: returns the logical value of *addr, helping any
+  // in-flight DCSS whose marker it encounters. Never returns a marker.
+  std::uint64_t read(const std::atomic<std::uint64_t>* addr) noexcept;
+
+  // Per-thread access to the domain. Acquires one descriptor slot for its
+  // lifetime; at most max_threads() handles may be live at once.
+  class ThreadHandle {
+   public:
+    explicit ThreadHandle(DcssDomain& domain);
+    ~ThreadHandle();
+
+    ThreadHandle(const ThreadHandle&) = delete;
+    ThreadHandle& operator=(const ThreadHandle&) = delete;
+
+    bool dcss(std::atomic<std::uint64_t>* a1, std::uint64_t e1,
+              std::uint64_t n1, const std::atomic<std::uint64_t>* a2,
+              std::uint64_t e2) noexcept;
+
+   private:
+    DcssDomain& domain_;
+    std::size_t slot_;
+  };
+
+ private:
+  friend class ThreadHandle;
+
+  enum Verdict : std::uint32_t {
+    kUndecided = 0,
+    kSucceeded = 1,
+    kFailed = 2,
+  };
+
+  struct alignas(64) Descriptor {
+    std::atomic<std::uint64_t> seq{0};  // even = quiescent, odd = active
+    // (seq << 2) | Verdict. Carrying the sequence in the decision word
+    // makes a stale helper's decision CAS fail once the descriptor is
+    // recycled, instead of corrupting the next operation's verdict.
+    std::atomic<std::uint64_t> decision{0};
+    std::atomic<std::atomic<std::uint64_t>*> a1{nullptr};
+    std::atomic<const std::atomic<std::uint64_t>*> a2{nullptr};
+    std::atomic<std::uint64_t> e1{0};
+    std::atomic<std::uint64_t> n1{0};
+    std::atomic<std::uint64_t> e2{0};
+  };
+
+  static bool is_marker(std::uint64_t word) noexcept {
+    return (word & kMarkerBit) != 0;
+  }
+  std::uint64_t make_marker(std::size_t slot, std::uint64_t seq) const
+      noexcept {
+    return kMarkerBit | (static_cast<std::uint64_t>(slot) << 48) |
+           (seq & ((std::uint64_t{1} << 48) - 1));
+  }
+
+  // Drive the DCSS published as `marker` to completion (idempotent; safe
+  // against descriptor recycling).
+  void help(std::uint64_t marker) noexcept;
+
+  std::size_t acquire_slot();
+  void release_slot(std::size_t slot) noexcept;
+
+  const std::size_t max_threads_;
+  Descriptor* descriptors_;
+  std::atomic<bool>* slot_used_;
+};
+
+}  // namespace membq

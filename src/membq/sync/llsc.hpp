@@ -1,0 +1,61 @@
+// Software emulation of a Load-Linked / Store-Conditional cell.
+//
+// The paper's L3 queue assumes hardware LL/SC, whose ABA immunity costs no
+// memory in the paper's model. On x86 we emulate it with a (stamp, value)
+// pair updated by double-width CAS: sc() succeeds only if the cell has not
+// been stored to since the matching ll(), even if the value round-tripped
+// back (ABA). The emulation surcharge is the 8-byte stamp per cell, which
+// the overhead tables report separately from the algorithmic overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace membq {
+
+class LLSCCell {
+ public:
+  struct Link {
+    std::uint64_t value;
+    std::uint64_t stamp;
+  };
+
+  explicit LLSCCell(std::uint64_t initial = 0) noexcept {
+    word_.store(Word{0, initial}, std::memory_order_relaxed);
+  }
+
+  LLSCCell(const LLSCCell&) = delete;
+  LLSCCell& operator=(const LLSCCell&) = delete;
+
+  Link ll() const noexcept {
+    const Word w = word_.load(std::memory_order_acquire);
+    return Link{w.value, w.stamp};
+  }
+
+  bool sc(const Link& link, std::uint64_t desired) noexcept {
+    Word expected{link.stamp, link.value};
+    return word_.compare_exchange_strong(
+        expected, Word{link.stamp + 1, desired}, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+  }
+
+  bool validate(const Link& link) const noexcept {
+    return word_.load(std::memory_order_acquire).stamp == link.stamp;
+  }
+
+  std::uint64_t peek() const noexcept { return ll().value; }
+
+  // Bytes per cell the emulation pays beyond what hardware LL/SC would.
+  static constexpr std::size_t emulation_overhead_bytes() noexcept {
+    return sizeof(std::uint64_t);
+  }
+
+ private:
+  struct alignas(2 * sizeof(std::uint64_t)) Word {
+    std::uint64_t stamp;
+    std::uint64_t value;
+  };
+  std::atomic<Word> word_;
+};
+
+}  // namespace membq

@@ -1,0 +1,159 @@
+#include "workload/registry.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "baselines/michael_scott.hpp"
+#include "baselines/mutex_ring.hpp"
+#include "baselines/scq_ring.hpp"
+#include "baselines/vyukov_queue.hpp"
+#include "common/counting_alloc.hpp"
+#include "core/optimal_queue.hpp"
+#include "queues/dcss_queue.hpp"
+#include "queues/distinct_queue.hpp"
+#include "queues/llsc_queue.hpp"
+#include "queues/segment_queue.hpp"
+#include "sync/llsc.hpp"
+
+namespace membq {
+namespace workload {
+
+namespace {
+
+// Overhead protocol: fill to capacity, drain, fill again. The churn
+// forces node/segment recycling structures (freelists, pools) to reach
+// their steady footprint, and the final fill leaves the queue full so
+// element storage is exactly C words.
+template <class Q>
+void churn_full(Q& q, std::size_t capacity) {
+  typename Q::Handle h(q);
+  std::uint64_t seq = 1;
+  std::uint64_t out;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    (void)h.try_enqueue(detail::make_value(0, seq++));
+  }
+  for (std::size_t i = 0; i < capacity; ++i) (void)h.try_dequeue(out);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    (void)h.try_enqueue(detail::make_value(0, seq++));
+  }
+}
+
+// MakeFn: unique_ptr<Q>(capacity, threads). AuxFn: bytes to report
+// separately instead of as algorithmic overhead (the LL/SC emulation
+// stamps); zero for everything else.
+template <class Q, class MakeFn, class AuxFn>
+QueueSpec make_spec(std::string name, std::size_t max_threads, MakeFn make,
+                    AuxFn aux) {
+  QueueSpec spec;
+  spec.name = name;
+  spec.run = [name, max_threads, make](std::size_t capacity,
+                                       const RunConfig& cfg) {
+    // Provision the Θ(T)-sized designs for the registry's declared thread
+    // ceiling (that is the T in their memory/time class), with +1 headroom
+    // over the active thread count for the driver's prefill handle.
+    const std::size_t provision =
+        std::max(max_threads, std::max<std::size_t>(cfg.threads, 1) + 1);
+    auto q = make(capacity, provision);
+    RunResult r = run_workload(*q, cfg);
+    r.queue = name;
+    return r;
+  };
+  spec.overhead = [name, make, aux](std::size_t capacity,
+                                    std::size_t threads) {
+    auto& counter = AllocCounter::instance();
+    const std::size_t before = counter.live_bytes();
+    std::size_t live = 0;
+    {
+      auto q = make(capacity, threads);
+      churn_full(*q, capacity);
+      live = counter.live_bytes() - before;
+    }
+    metrics::OverheadRow row;
+    row.queue = name;
+    row.capacity = capacity;
+    row.threads = threads;
+    const std::size_t element_bytes = capacity * sizeof(std::uint64_t);
+    const std::size_t aux_bytes = aux(capacity, threads);
+    const std::size_t gross = live > element_bytes ? live - element_bytes : 0;
+    row.aux_bytes = aux_bytes;
+    row.overhead_bytes = gross > aux_bytes ? gross - aux_bytes : 0;
+    return row;
+  };
+  return spec;
+}
+
+std::size_t no_aux(std::size_t, std::size_t) { return 0; }
+
+}  // namespace
+
+std::vector<QueueSpec> all_queues(std::size_t max_threads) {
+  const std::size_t mt = std::max<std::size_t>(max_threads, 2);
+  std::vector<QueueSpec> queues;
+  queues.reserve(9);
+
+  queues.push_back(make_spec<OptimalQueue>(
+      OptimalQueue::kName, mt,
+      [](std::size_t c, std::size_t t) {
+        return std::make_unique<OptimalQueue>(c, t);
+      },
+      no_aux));
+
+  queues.push_back(make_spec<DistinctQueue>(
+      DistinctQueue::kName, mt,
+      [](std::size_t c, std::size_t) {
+        return std::make_unique<DistinctQueue>(c);
+      },
+      no_aux));
+
+  queues.push_back(make_spec<LlscQueue>(
+      LlscQueue::kName, mt,
+      [](std::size_t c, std::size_t) { return std::make_unique<LlscQueue>(c); },
+      [](std::size_t c, std::size_t) {
+        return c * LLSCCell::emulation_overhead_bytes();
+      }));
+
+  queues.push_back(make_spec<DcssQueue>(
+      DcssQueue::kName, mt,
+      [](std::size_t c, std::size_t t) {
+        return std::make_unique<DcssQueue>(c, t);
+      },
+      no_aux));
+
+  queues.push_back(make_spec<SegmentQueue>(
+      SegmentQueue::kName, mt,
+      [](std::size_t c, std::size_t t) {
+        return std::make_unique<SegmentQueue>(c, /*seg_size=*/0,
+                                              /*pool_segments=*/t);
+      },
+      no_aux));
+
+  queues.push_back(make_spec<VyukovQueue>(
+      VyukovQueue::kName, mt,
+      [](std::size_t c, std::size_t) {
+        return std::make_unique<VyukovQueue>(c);
+      },
+      no_aux));
+
+  queues.push_back(make_spec<ScqRing>(
+      ScqRing::kName, mt,
+      [](std::size_t c, std::size_t) { return std::make_unique<ScqRing>(c); },
+      no_aux));
+
+  queues.push_back(make_spec<MichaelScottQueue>(
+      MichaelScottQueue::kName, mt,
+      [](std::size_t c, std::size_t) {
+        return std::make_unique<MichaelScottQueue>(c);
+      },
+      no_aux));
+
+  queues.push_back(make_spec<MutexRing>(
+      MutexRing::kName, mt,
+      [](std::size_t c, std::size_t) { return std::make_unique<MutexRing>(c); },
+      no_aux));
+
+  return queues;
+}
+
+}  // namespace workload
+}  // namespace membq

@@ -1,0 +1,35 @@
+// Registry of every general-purpose (MPMC) queue in membq, with uniform
+// run and overhead entry points so the benches can sweep them all.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/overhead.hpp"
+#include "workload/driver.hpp"
+
+namespace membq {
+namespace workload {
+
+struct QueueSpec {
+  std::string name;
+
+  // Build a fresh instance with the given capacity and run the workload.
+  std::function<RunResult(std::size_t capacity, const RunConfig& cfg)> run;
+
+  // Build a fresh instance sized for `threads` handles, churn it full, and
+  // report live heap overhead beyond the C element words.
+  std::function<metrics::OverheadRow(std::size_t capacity,
+                                     std::size_t threads)>
+      overhead;
+};
+
+// All nine queues of the E9 table, in the paper's order (L5, L2, L3, L4,
+// L1, then the baselines). `max_threads` bounds how many handles the
+// Θ(T)-sized designs provision when run() constructs them.
+std::vector<QueueSpec> all_queues(std::size_t max_threads = 64);
+
+}  // namespace workload
+}  // namespace membq

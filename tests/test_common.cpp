@@ -1,0 +1,102 @@
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/barrier.hpp"
+#include "common/clock.hpp"
+#include "common/counting_alloc.hpp"
+#include "common/pinning.hpp"
+
+namespace {
+
+TEST(SpinBarrierTest, ReleasesAllThreadsAcrossRounds) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 5;
+  membq::SpinBarrier barrier(kThreads);
+  std::atomic<std::size_t> before_barrier{0};
+  std::atomic<bool> order_violation{false};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        before_barrier.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Every thread must observe all arrivals of this round.
+        if (before_barrier.load() < (round + 1) * kThreads) {
+          order_violation.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(order_violation.load());
+  EXPECT_EQ(before_barrier.load(), kThreads * kRounds);
+}
+
+TEST(StopwatchTest, MeasuresElapsedSleep) {
+  membq::Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = watch.elapsed_s();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_GE(watch.elapsed_ns(), s * 1e9 * 0.5);
+}
+
+TEST(PinningTest, OnlineCpusIsPositive) {
+  EXPECT_GE(membq::online_cpus(), 1u);
+}
+
+TEST(PinningTest, PinCurrentThreadDoesNotCrash) {
+  // Best-effort API: must return cleanly whether or not affinity works.
+  (void)membq::pin_current_thread(0);
+  (void)membq::pin_current_thread(membq::online_cpus() + 7);
+}
+
+TEST(AllocCounterTest, TracksNewAndDelete) {
+  // Direct ::operator new calls: unlike new-expressions, these cannot be
+  // elided by the optimizer. All counter snapshots are taken before any
+  // gtest assertion so assertion-internal allocations cannot skew them.
+  auto& counter = membq::AllocCounter::instance();
+  const std::size_t live0 = counter.live_bytes();
+  const std::size_t allocs0 = counter.live_allocations();
+  void* p = ::operator new(8000);
+  const std::size_t live1 = counter.live_bytes();
+  const std::size_t allocs1 = counter.live_allocations();
+  ::operator delete(p);
+  const std::size_t live2 = counter.live_bytes();
+  const std::size_t allocs2 = counter.live_allocations();
+
+  EXPECT_EQ(live1, live0 + 8000);
+  EXPECT_EQ(allocs1, allocs0 + 1);
+  EXPECT_EQ(live2, live0);
+  EXPECT_EQ(allocs2, allocs0);
+}
+
+TEST(AllocCounterTest, HandlesOverAlignedAllocations) {
+  struct alignas(128) Big {
+    char data[256];
+  };
+  auto& counter = membq::AllocCounter::instance();
+  const std::size_t live0 = counter.live_bytes();
+  Big* b = new Big;
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 128, 0u);
+  EXPECT_GE(counter.live_bytes(), live0 + sizeof(Big));
+  delete b;
+  EXPECT_EQ(counter.live_bytes(), live0);
+}
+
+TEST(AllocCounterTest, TotalBytesIsCumulative) {
+  auto& counter = membq::AllocCounter::instance();
+  const std::size_t total0 = counter.total_bytes();
+  ::operator delete(::operator new(100));
+  ::operator delete(::operator new(100));
+  const std::size_t total1 = counter.total_bytes();
+  EXPECT_GE(total1, total0 + 200);
+}
+
+}  // namespace

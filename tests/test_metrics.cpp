@@ -1,0 +1,143 @@
+#include "metrics/overhead.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/registry.hpp"
+
+namespace {
+
+using membq::metrics::classify;
+using membq::metrics::OverheadRow;
+using membq::metrics::ThetaClass;
+
+std::vector<OverheadRow> sweep_c(std::size_t threads,
+                                 double per_c, double constant) {
+  std::vector<OverheadRow> rows;
+  for (std::size_t c : {64, 256, 1024, 4096, 16384}) {
+    OverheadRow r;
+    r.capacity = c;
+    r.threads = threads;
+    r.overhead_bytes = static_cast<std::size_t>(per_c * c + constant);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<OverheadRow> sweep_t(std::size_t capacity,
+                                 double per_t, double constant) {
+  std::vector<OverheadRow> rows;
+  for (std::size_t t : {2, 4, 8, 16, 32, 64}) {
+    OverheadRow r;
+    r.capacity = capacity;
+    r.threads = t;
+    r.overhead_bytes = static_cast<std::size_t>(per_t * t + constant);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+TEST(ThetaClassifierTest, FlatSweepsAreThetaOne) {
+  EXPECT_EQ(classify(sweep_c(8, 0.0, 96), sweep_t(1024, 0.0, 96)),
+            ThetaClass::kOne);
+}
+
+TEST(ThetaClassifierTest, ThreadLinearIsThetaT) {
+  EXPECT_EQ(classify(sweep_c(8, 0.0, 200), sweep_t(1024, 64.0, 200)),
+            ThetaClass::kT);
+}
+
+TEST(ThetaClassifierTest, CapacityLinearIsThetaC) {
+  EXPECT_EQ(classify(sweep_c(8, 8.0, 64), sweep_t(1024, 0.0, 8.0 * 1024)),
+            ThetaClass::kC);
+}
+
+TEST(ThetaClassifierTest, BothLinearIsThetaCT) {
+  EXPECT_EQ(classify(sweep_c(8, 8.0, 0), sweep_t(1024, 64.0, 8.0 * 1024)),
+            ThetaClass::kCT);
+}
+
+TEST(ThetaClassifierTest, ToStringNamesEveryClass) {
+  EXPECT_EQ(membq::metrics::to_string(ThetaClass::kOne), "Theta(1)");
+  EXPECT_EQ(membq::metrics::to_string(ThetaClass::kT), "Theta(T)");
+  EXPECT_EQ(membq::metrics::to_string(ThetaClass::kC), "Theta(C)");
+  EXPECT_EQ(membq::metrics::to_string(ThetaClass::kCT), "Theta(C+T)");
+}
+
+TEST(FormatTableTest, ContainsHeaderAndEveryRow) {
+  std::vector<OverheadRow> rows;
+  OverheadRow r;
+  r.queue = "some-queue";
+  r.capacity = 64;
+  r.threads = 8;
+  r.overhead_bytes = 123;
+  r.aux_bytes = 7;
+  rows.push_back(r);
+  const std::string table = membq::metrics::format_table(rows);
+  EXPECT_NE(table.find("queue"), std::string::npos);
+  EXPECT_NE(table.find("overhead_B"), std::string::npos);
+  EXPECT_NE(table.find("some-queue"), std::string::npos);
+  EXPECT_NE(table.find("123"), std::string::npos);
+}
+
+// The paper's central claims, measured end-to-end through the counting
+// allocator on reduced sweeps: each representative queue must land in its
+// claimed Θ-class.
+class MeasuredClassTest : public ::testing::Test {
+ protected:
+  static ThetaClass measured_class(const std::string& name) {
+    const auto queues = membq::workload::all_queues(/*max_threads=*/16);
+    for (const auto& spec : queues) {
+      if (spec.name != name) continue;
+      std::vector<OverheadRow> c_sweep, t_sweep;
+      for (std::size_t c : {64, 256, 1024, 4096}) {
+        c_sweep.push_back(spec.overhead(c, 8));
+      }
+      for (std::size_t t : {2, 4, 8, 16}) {
+        t_sweep.push_back(spec.overhead(512, t));
+      }
+      return classify(c_sweep, t_sweep);
+    }
+    ADD_FAILURE() << "queue not registered: " << name;
+    return ThetaClass::kOne;
+  }
+};
+
+TEST_F(MeasuredClassTest, OptimalQueueIsThetaT) {
+  EXPECT_EQ(measured_class("optimal(L5)"), ThetaClass::kT);
+}
+
+TEST_F(MeasuredClassTest, DcssQueueIsThetaT) {
+  EXPECT_EQ(measured_class("dcss(L4)"), ThetaClass::kT);
+}
+
+TEST_F(MeasuredClassTest, DistinctQueueIsThetaOne) {
+  EXPECT_EQ(measured_class("distinct(L2)"), ThetaClass::kOne);
+}
+
+TEST_F(MeasuredClassTest, LlscQueueIsThetaOneBeyondEmulation) {
+  EXPECT_EQ(measured_class("llsc(L3)"), ThetaClass::kOne);
+}
+
+TEST_F(MeasuredClassTest, MutexRingIsThetaOne) {
+  EXPECT_EQ(measured_class("mutex(seq+lock)"), ThetaClass::kOne);
+}
+
+TEST_F(MeasuredClassTest, VyukovQueueIsThetaC) {
+  EXPECT_EQ(measured_class("vyukov(perslot-seq)"), ThetaClass::kC);
+}
+
+TEST_F(MeasuredClassTest, ScqRingIsThetaC) {
+  EXPECT_EQ(measured_class("scq(faa-ring)"), ThetaClass::kC);
+}
+
+TEST_F(MeasuredClassTest, MichaelScottGrowsWithLiveElements) {
+  // Full queue: node-per-element shows up as capacity-linear growth.
+  const ThetaClass cls = measured_class("michael-scott");
+  EXPECT_TRUE(cls == ThetaClass::kC || cls == ThetaClass::kCT);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Single-threaded semantics for every queue: FIFO order, full and empty
+// behavior, and wraparound across many ring rounds.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "baselines/michael_scott.hpp"
+#include "baselines/mutex_ring.hpp"
+#include "baselines/role_rings.hpp"
+#include "baselines/scq_ring.hpp"
+#include "baselines/spsc_ring.hpp"
+#include "baselines/vyukov_queue.hpp"
+#include "core/optimal_queue.hpp"
+#include "queues/dcss_queue.hpp"
+#include "queues/distinct_queue.hpp"
+#include "queues/llsc_queue.hpp"
+#include "queues/segment_queue.hpp"
+
+namespace {
+
+// Values stay distinct (L2's contract) and well under the reserved ranges.
+std::uint64_t val(std::uint64_t i) { return 1000 + i; }
+
+template <class Q>
+void check_fifo_full_empty(Q& q, std::size_t cap) {
+  typename Q::Handle h(q);
+  std::uint64_t out = 0;
+
+  EXPECT_FALSE(h.try_dequeue(out)) << "fresh queue must be empty";
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_TRUE(h.try_enqueue(val(i))) << "enqueue " << i << " of " << cap;
+  }
+  EXPECT_FALSE(h.try_enqueue(val(cap))) << "queue at capacity must refuse";
+  for (std::size_t i = 0; i < cap; ++i) {
+    ASSERT_TRUE(h.try_dequeue(out)) << "dequeue " << i;
+    EXPECT_EQ(out, val(i)) << "FIFO order violated at " << i;
+  }
+  EXPECT_FALSE(h.try_dequeue(out)) << "drained queue must be empty";
+}
+
+template <class Q>
+void check_wraparound(Q& q, std::size_t cap) {
+  typename Q::Handle h(q);
+  std::uint64_t out = 0;
+  std::uint64_t next_in = 0, next_out = 0;
+  // Interleaved enqueue/dequeue far past capacity: every ring must handle
+  // many round transitions (cycle flips, versioned-⊥ round bumps).
+  for (std::size_t i = 0; i < cap * 20; ++i) {
+    ASSERT_TRUE(h.try_enqueue(val(next_in++)));
+    ASSERT_TRUE(h.try_enqueue(val(next_in++)));
+    ASSERT_TRUE(h.try_dequeue(out));
+    EXPECT_EQ(out, val(next_out++));
+    ASSERT_TRUE(h.try_dequeue(out));
+    EXPECT_EQ(out, val(next_out++));
+  }
+}
+
+TEST(QueueBasicTest, DistinctQueueFifoFullEmpty) {
+  membq::DistinctQueue q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, LlscQueueFifoFullEmpty) {
+  membq::LlscQueue q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, DcssQueueFifoFullEmpty) {
+  membq::DcssQueue q(8, 4);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, OptimalQueueFifoFullEmpty) {
+  membq::OptimalQueue q(8, 4);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, SegmentQueueFifoFullEmpty) {
+  membq::SegmentQueue q(8, 3);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, VyukovQueueFifoFullEmpty) {
+  membq::VyukovQueue q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, ScqRingFifoFullEmpty) {
+  membq::ScqRing q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, MichaelScottFifoFullEmpty) {
+  membq::MichaelScottQueue q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, MutexRingFifoFullEmpty) {
+  membq::MutexRing q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, SpscRingFifoFullEmpty) {
+  membq::SpscRing q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, MpscRingFifoFullEmpty) {
+  membq::MpscRing q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, SpmcRingFifoFullEmpty) {
+  membq::SpmcRing q(8);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, WraparoundAllQueues) {
+  {
+    membq::DistinctQueue q(4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::LlscQueue q(4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::DcssQueue q(4, 2);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::OptimalQueue q(4, 2);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::SegmentQueue q(4, 2);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::VyukovQueue q(4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::ScqRing q(4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::MichaelScottQueue q(4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::MutexRing q(4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::SpscRing q(4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::MpscRing q(4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::SpmcRing q(4);
+    check_wraparound(q, 4);
+  }
+}
+
+TEST(QueueBasicTest, SegmentQueuePredictedOverheadModelShape) {
+  // The Θ(C/K + T·K) model must be convex in K with an interior minimum
+  // near sqrt(C).
+  const std::size_t c = 4096, t = 4;
+  const std::size_t at_small = membq::SegmentQueue::predicted_overhead_bytes(
+      c, 2, t);
+  const std::size_t at_sqrt = membq::SegmentQueue::predicted_overhead_bytes(
+      c, 64, t);
+  const std::size_t at_large = membq::SegmentQueue::predicted_overhead_bytes(
+      c, c, t);
+  EXPECT_LT(at_sqrt, at_small);
+  EXPECT_LT(at_sqrt, at_large);
+}
+
+TEST(QueueBasicTest, SegmentQueueElementBytesTracksSize) {
+  membq::SegmentQueue q(16, 4);
+  EXPECT_EQ(q.element_bytes(), 0u);
+  membq::SegmentQueue::Handle h(q);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(h.try_enqueue(val(i)));
+  EXPECT_EQ(q.element_bytes(), 5 * sizeof(std::uint64_t));
+}
+
+}  // namespace

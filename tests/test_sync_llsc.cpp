@@ -1,0 +1,69 @@
+#include "sync/llsc.hpp"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(LlscTest, LoadLinkedStoreConditionalRoundTrip) {
+  membq::LLSCCell cell(5);
+  const auto link = cell.ll();
+  EXPECT_EQ(link.value, 5u);
+  EXPECT_TRUE(cell.sc(link, 6));
+  EXPECT_EQ(cell.peek(), 6u);
+}
+
+TEST(LlscTest, StaleLinkIsRejected) {
+  membq::LLSCCell cell(5);
+  const auto stale = cell.ll();
+  EXPECT_TRUE(cell.sc(cell.ll(), 6));
+  EXPECT_FALSE(cell.sc(stale, 7));
+  EXPECT_EQ(cell.peek(), 6u);
+}
+
+TEST(LlscTest, AbaIsRejected) {
+  membq::LLSCCell cell(5);
+  const auto link = cell.ll();
+  // Another thread's history: 5 -> 9 -> 5. The value round-trips back,
+  // which fools a plain CAS; SC must still fail.
+  EXPECT_TRUE(cell.sc(cell.ll(), 9));
+  EXPECT_TRUE(cell.sc(cell.ll(), 5));
+  EXPECT_EQ(cell.peek(), 5u);
+  EXPECT_FALSE(cell.sc(link, 7));
+  EXPECT_EQ(cell.peek(), 5u);
+}
+
+TEST(LlscTest, ValidateDetectsIntermediateStores) {
+  membq::LLSCCell cell(1);
+  const auto link = cell.ll();
+  EXPECT_TRUE(cell.validate(link));
+  EXPECT_TRUE(cell.sc(cell.ll(), 2));
+  EXPECT_FALSE(cell.validate(link));
+}
+
+TEST(LlscTest, ConcurrentCountingIsExact) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  membq::LLSCCell cell(0);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      std::uint64_t done = 0;
+      while (done < kPerThread) {
+        const auto link = cell.ll();
+        if (cell.sc(link, link.value + 1)) {
+          ++done;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(cell.peek(), kThreads * kPerThread);
+}
+
+}  // namespace
