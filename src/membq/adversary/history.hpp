@@ -1,0 +1,33 @@
+// Recorded concurrent histories for the adversary subsystem. An Operation
+// is a completed queue call stamped with its invocation and response
+// instants on the ScheduledExecution clock; operation A precedes B in the
+// Herlihy–Wing real-time order iff A responded before B was invoked, and
+// a linearization must respect exactly that partial order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace membq::adversary {
+
+enum class OpKind { kEnqueue, kDequeue };
+
+struct Operation {
+  int thread = 0;
+  OpKind kind = OpKind::kEnqueue;
+  std::uint64_t value = 0;  // enqueue: the argument; dequeue: value returned
+  bool ok = false;          // enqueue: accepted (not full); dequeue: nonempty
+  std::size_t invoked = 0;
+  std::size_t responded = 0;
+};
+
+struct History {
+  std::vector<Operation> ops;
+
+  bool precedes(std::size_t a, std::size_t b) const noexcept {
+    return ops[a].responded < ops[b].invoked;
+  }
+};
+
+}  // namespace membq::adversary

@@ -1,0 +1,88 @@
+#include "adversary/linearizability.hpp"
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace membq::adversary {
+namespace {
+
+// Search node identity: the set of already-linearized ops plus the queue
+// contents those choices left behind. Two DFS paths that meet in the same
+// (mask, contents) pair have identical futures, so the second is pruned.
+using StateKey = std::pair<std::uint64_t, std::vector<std::uint64_t>>;
+
+class Dfs {
+ public:
+  Dfs(const History& h, std::size_t capacity) : h_(h), cap_(capacity) {}
+
+  bool run(std::uint64_t mask, std::vector<std::uint64_t>& queue) {
+    ++nodes_;
+    if (mask == (std::uint64_t{1} << h_.ops.size()) - 1) return true;
+    if (!seen_.insert({mask, queue}).second) return false;
+    for (std::size_t i = 0; i < h_.ops.size(); ++i) {
+      if (mask & (std::uint64_t{1} << i)) continue;
+      if (!minimal(mask, i)) continue;
+      const Operation& op = h_.ops[i];
+      if (op.kind == OpKind::kEnqueue) {
+        if (op.ok) {
+          if (queue.size() >= cap_) continue;  // full queue cannot accept
+          queue.push_back(op.value);
+          if (run(mask | (std::uint64_t{1} << i), queue)) return true;
+          queue.pop_back();
+        } else {
+          if (queue.size() != cap_) continue;  // refusal needs a full queue
+          if (run(mask | (std::uint64_t{1} << i), queue)) return true;
+        }
+      } else {
+        if (op.ok) {
+          if (queue.empty() || queue.front() != op.value) continue;
+          const std::uint64_t front = queue.front();
+          queue.erase(queue.begin());
+          if (run(mask | (std::uint64_t{1} << i), queue)) return true;
+          queue.insert(queue.begin(), front);
+        } else {
+          if (!queue.empty()) continue;  // "empty" needs an empty queue
+          if (run(mask | (std::uint64_t{1} << i), queue)) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t nodes() const { return nodes_; }
+
+ private:
+  // Op i may linearize next only if no unlinearized op responded before i
+  // was invoked (i is minimal in the remaining real-time partial order).
+  bool minimal(std::uint64_t mask, std::size_t i) const {
+    for (std::size_t j = 0; j < h_.ops.size(); ++j) {
+      if (j == i || (mask & (std::uint64_t{1} << j))) continue;
+      if (h_.precedes(j, i)) return false;
+    }
+    return true;
+  }
+
+  const History& h_;
+  const std::size_t cap_;
+  std::set<StateKey> seen_;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+CheckResult check_bounded_queue(const History& h, std::size_t capacity) {
+  CheckResult result;
+  if (h.ops.size() > 63) {
+    result.history_too_large = true;
+    return result;
+  }
+  Dfs dfs(h, capacity);
+  std::vector<std::uint64_t> queue;
+  result.linearizable = dfs.run(0, queue);
+  result.states_explored = dfs.nodes();
+  return result;
+}
+
+}  // namespace membq::adversary

@@ -1,0 +1,30 @@
+// Wing–Gong-style linearizability checker, specialized to the sequential
+// bounded-queue spec: enqueue succeeds iff the queue holds fewer than
+// `capacity` values, dequeue returns the oldest value or reports empty.
+// The DFS tries every real-time-respecting linearization order, replaying
+// each prefix against the spec; `states_explored` counts expanded search
+// nodes — the "cost of certification" column in bench_lower_bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "adversary/history.hpp"
+
+namespace membq::adversary {
+
+struct CheckResult {
+  bool linearizable = false;
+  std::uint64_t states_explored = 0;
+  // Set when the history exceeds the checker's 63-op limit (the linearized
+  // set is a bitmask): no search ran, so `linearizable` is meaningless —
+  // the verdict is "unverified", not "violation".
+  bool history_too_large = false;
+};
+
+// Exhaustive check of a complete history (every op responded) against a
+// bounded queue of `capacity` slots; the Theorem 3.12 schedules stay well
+// under the 63-op limit.
+CheckResult check_bounded_queue(const History& h, std::size_t capacity);
+
+}  // namespace membq::adversary

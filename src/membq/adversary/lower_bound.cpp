@@ -1,0 +1,114 @@
+#include "adversary/lower_bound.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adversary/instrumented_rings.hpp"
+#include "adversary/scheduled_execution.hpp"
+
+namespace membq::adversary {
+namespace {
+
+// The round-sleep schedule behind every attack:
+//
+//   1. Each victim v_i invokes enqueue(y_i), reads tail/head/cell, and is
+//      preempted one step before its CAS. The adversary immediately claims
+//      the same ticket with a filler enqueue, so the victim's snapshot is
+//      stale the moment it parks.
+//   2. The adversary wraps the ring `rounds` times (fill to capacity,
+//      drain to empty), recycling every cell once per round while the
+//      victims sleep.
+//   3. The victims wake and their poised CASes execute against bottoms
+//      from `rounds` rounds later. A bottom encoding that repeats lets the
+//      stale CAS fire — the value lands in a cell whose ticket is long
+//      dead and the enqueue still reports success. An encoding that has
+//      moved on refuses it, and the victim retries against live state.
+//   4. The adversary drains whatever the ring admits to holding, ending
+//      with a dequeue that reports empty. If stale CASes fired, the y_i
+//      are unreachable (head == tail), so successful enqueues have no
+//      matching dequeues: the checker's witness of non-linearizability.
+template <class Bottom>
+AttackReport run_round_sleep_attack(std::size_t capacity, unsigned rounds,
+                                    std::size_t victims) {
+  assert(victims >= 1 && victims <= capacity && rounds >= 1);
+  using Ring = InstrumentedRing<Bottom>;
+  constexpr int kAdversary = 0;
+  Ring ring(capacity);
+  ScheduledExecution sched;
+
+  std::uint64_t next_filler = 1;
+  constexpr std::uint64_t kVictimBase = 1u << 20;
+
+  std::vector<std::unique_ptr<typename Ring::EnqueueOp>> parked;
+  std::size_t live = 0;  // filler values currently in the ring
+  for (std::size_t i = 0; i < victims; ++i) {
+    parked.push_back(
+        std::make_unique<typename Ring::EnqueueOp>(ring, kVictimBase + i));
+    typename Ring::EnqueueOp& victim = *parked.back();
+    sched.invoke(static_cast<int>(i) + 1, victim);
+    sched.step(victim);  // read tail  (ticket i)
+    sched.step(victim);  // read head
+    sched.step(victim);  // read cell  — parked at the poised CAS
+    typename Ring::EnqueueOp snipe(ring, next_filler++);
+    sched.run(kAdversary, snipe);  // adversary takes ticket i
+    ++live;
+  }
+
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (; live < capacity; ++live) {
+      typename Ring::EnqueueOp fill(ring, next_filler++);
+      sched.run(kAdversary, fill);
+    }
+    for (; live > 0; --live) {
+      typename Ring::DequeueOp drain(ring);
+      sched.run(kAdversary, drain);
+    }
+  }
+
+  bool all_fired = true;
+  bool all_succeeded = true;
+  for (auto& victim : parked) {
+    sched.run(*victim);  // the first granted step is the poised CAS
+    all_fired = all_fired && victim->first_cas_fired();
+    all_succeeded = all_succeeded && victim->ok();
+  }
+
+  for (;;) {
+    typename Ring::DequeueOp drain(ring);
+    sched.run(kAdversary, drain);
+    if (!drain.ok()) break;
+  }
+
+  AttackReport report;
+  report.capacity = capacity;
+  report.poised_cas_fired = all_fired;
+  report.victim_reported_success = all_succeeded;
+  report.check = check_bounded_queue(sched.history(), capacity);
+  return report;
+}
+
+}  // namespace
+
+AttackReport attack_naive_ring(std::size_t capacity) {
+  return run_round_sleep_attack<NaiveBottom>(capacity, /*rounds=*/1,
+                                             /*victims=*/1);
+}
+
+AttackReport attack_tsigas_zhang(std::size_t capacity, unsigned sleep_rounds) {
+  return run_round_sleep_attack<TsigasZhangBottom>(capacity, sleep_rounds,
+                                                   /*victims=*/1);
+}
+
+AttackReport attack_distinct(std::size_t capacity) {
+  return run_round_sleep_attack<VersionedBottom>(capacity, /*rounds=*/1,
+                                                 /*victims=*/1);
+}
+
+AttackReport attack_naive_ring_multi(std::size_t capacity,
+                                     std::size_t victims) {
+  return run_round_sleep_attack<NaiveBottom>(capacity, /*rounds=*/1, victims);
+}
+
+}  // namespace membq::adversary

@@ -1,0 +1,42 @@
+// The mechanized Theorem 3.12 schedules. Each attack builds an
+// instrumented ring, parks one or more victim enqueuers at their poised
+// CAS, wraps the ring underneath them for a fixed number of rounds, wakes
+// them, drains the ring, and hands the recorded history to the
+// linearizability checker. One AttackReport is one row of the
+// bench_lower_bound verdict table (E7 / E7b / E14).
+#pragma once
+
+#include <cstddef>
+
+#include "adversary/linearizability.hpp"
+
+namespace membq::adversary {
+
+struct AttackReport {
+  std::size_t capacity = 0;
+  // Did the victim's poised (stale) CAS succeed when finally granted?
+  bool poised_cas_fired = false;
+  // Did the victim's enqueue report success to its caller?
+  bool victim_reported_success = false;
+  CheckResult check;
+};
+
+// Naive single-⊥ ring, one round of sleep: the poised CAS revives, the
+// value lands under a dead ticket, and the history is not linearizable.
+AttackReport attack_naive_ring(std::size_t capacity);
+
+// Tsigas–Zhang-style alternating nulls: survives sleep_rounds == 1 (the
+// stale CAS is refused and the victim retries legitimately), loses at
+// sleep_rounds == 2 when the null cycles back.
+AttackReport attack_tsigas_zhang(std::size_t capacity, unsigned sleep_rounds);
+
+// Versioned-⊥ control (the distinct(L2) assumption): the same schedule is
+// defeated for any number of rounds; reported with one round of sleep.
+AttackReport attack_distinct(std::size_t capacity);
+
+// The naive attack with several victims parked on consecutive tickets;
+// every stale CAS fires and every victim's value is lost at once.
+AttackReport attack_naive_ring_multi(std::size_t capacity,
+                                     std::size_t victims);
+
+}  // namespace membq::adversary

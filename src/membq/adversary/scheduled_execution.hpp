@@ -1,0 +1,89 @@
+// ScheduledExecution — the adversary's scheduler. Queue operations are
+// decomposed into SteppedOps whose step() performs exactly one shared
+// primitive (a load, a CAS, or a store), which is all the power Theorem
+// 3.12's adversary needs: park a victim at the yield point just before its
+// CAS (the "poised CAS"), drive other operations to completion underneath
+// it, then grant the stale step. Everything runs on one real thread, so
+// the schedules are deterministic and sanitizer-friendly; the recorded
+// history is what the linearizability checker judges.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "adversary/history.hpp"
+
+namespace membq::adversary {
+
+// One queue operation as an explicit state machine over its shared-memory
+// steps. kind/value/ok describe the response once complete() holds.
+class SteppedOp {
+ public:
+  virtual ~SteppedOp() = default;
+
+  virtual void step() = 0;  // perform the next primitive; not when complete
+  virtual bool complete() const = 0;
+
+  virtual OpKind kind() const = 0;
+  virtual std::uint64_t value() const = 0;
+  virtual bool ok() const = 0;
+};
+
+class ScheduledExecution {
+ public:
+  // Records the invocation instant; the op may now be granted steps.
+  void invoke(int thread, SteppedOp& op) {
+    pending_.push_back({&op, thread, clock_++});
+  }
+
+  // Grants one step; records the response the moment the op completes.
+  void step(SteppedOp& op) {
+    assert(!op.complete());
+    op.step();
+    ++clock_;
+    if (!op.complete()) return;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].op != &op) continue;
+      hist_.ops.push_back({pending_[i].thread, op.kind(), op.value(), op.ok(),
+                           pending_[i].invoked, clock_++});
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+    assert(false && "stepped an operation that was never invoked");
+  }
+
+  // An uninterrupted solo run of an already-invoked op.
+  void run(SteppedOp& op) {
+    // A solo op must terminate: the bound only trips on a livelocked
+    // step machine, which would be a bug in the instrumented ring.
+    for (std::size_t i = 0; i < kMaxSoloSteps && !op.complete(); ++i) {
+      step(op);
+    }
+    assert(op.complete() && "solo operation failed to make progress");
+  }
+
+  // invoke + run, for adversary operations that are never preempted.
+  void run(int thread, SteppedOp& op) {
+    invoke(thread, op);
+    run(op);
+  }
+
+  const History& history() const { return hist_; }
+
+ private:
+  static constexpr std::size_t kMaxSoloSteps = 1u << 20;
+
+  struct Pending {
+    SteppedOp* op;
+    int thread;
+    std::size_t invoked;
+  };
+
+  std::size_t clock_ = 0;
+  std::vector<Pending> pending_;
+  History hist_;
+};
+
+}  // namespace membq::adversary

@@ -1,0 +1,215 @@
+// The adversary subsystem, tested in three independent layers so a checker
+// bug is distinguishable from a schedule bug: the linearizability checker
+// on hand-written histories, the instrumented rings driven solo, and the
+// mechanized Theorem 3.12 attack verdicts themselves.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "adversary/instrumented_rings.hpp"
+#include "adversary/linearizability.hpp"
+#include "adversary/lower_bound.hpp"
+#include "adversary/scheduled_execution.hpp"
+
+namespace {
+
+using membq::adversary::check_bounded_queue;
+using membq::adversary::History;
+using membq::adversary::OpKind;
+using membq::adversary::Operation;
+using membq::adversary::ScheduledExecution;
+
+Operation enq(std::uint64_t v, bool ok, std::size_t inv, std::size_t rsp,
+              int thread = 0) {
+  return {thread, OpKind::kEnqueue, v, ok, inv, rsp};
+}
+
+Operation deq(std::uint64_t v, bool ok, std::size_t inv, std::size_t rsp,
+              int thread = 0) {
+  return {thread, OpKind::kDequeue, v, ok, inv, rsp};
+}
+
+// ---- checker on hand-written histories -----------------------------------
+
+TEST(LinearizabilityCheckerTest, EmptyHistoryIsLinearizable) {
+  History h;
+  auto r = check_bounded_queue(h, 4);
+  EXPECT_TRUE(r.linearizable);
+  EXPECT_GE(r.states_explored, 1u);
+}
+
+TEST(LinearizabilityCheckerTest, SequentialFifoIsLinearizable) {
+  History h;
+  h.ops = {enq(1, true, 0, 1), enq(2, true, 2, 3), deq(1, true, 4, 5),
+           deq(2, true, 6, 7), deq(0, false, 8, 9)};
+  auto r = check_bounded_queue(h, 4);
+  EXPECT_TRUE(r.linearizable);
+  EXPECT_GE(r.states_explored, h.ops.size());
+}
+
+TEST(LinearizabilityCheckerTest, SequentialWrongOrderIsNotLinearizable) {
+  History h;
+  h.ops = {enq(1, true, 0, 1), enq(2, true, 2, 3), deq(2, true, 4, 5)};
+  EXPECT_FALSE(check_bounded_queue(h, 4).linearizable);
+}
+
+TEST(LinearizabilityCheckerTest, PhantomDequeueIsNotLinearizable) {
+  History h;
+  h.ops = {enq(1, true, 0, 1), deq(7, true, 2, 3)};
+  EXPECT_FALSE(check_bounded_queue(h, 4).linearizable);
+}
+
+TEST(LinearizabilityCheckerTest, LostValueIsNotLinearizable) {
+  // The shape every fired attack produces: a successful enqueue whose value
+  // no dequeue ever surfaces, followed by an empty verdict.
+  History h;
+  h.ops = {enq(1, true, 0, 1), deq(0, false, 2, 3)};
+  EXPECT_FALSE(check_bounded_queue(h, 4).linearizable);
+}
+
+TEST(LinearizabilityCheckerTest, OverlappingEnqueuesMayLinearizeEitherWay) {
+  // enq(1) and enq(2) overlap, so the matching dequeue order 2-then-1 is
+  // justified by picking the linearization enq(2) < enq(1).
+  History h;
+  h.ops = {enq(1, true, 0, 5, 1), enq(2, true, 1, 6, 2), deq(2, true, 7, 8),
+           deq(1, true, 9, 10)};
+  EXPECT_TRUE(check_bounded_queue(h, 4).linearizable);
+}
+
+TEST(LinearizabilityCheckerTest, RefusalRequiresAFullQueue) {
+  History h;
+  h.ops = {enq(1, true, 0, 1), enq(2, false, 2, 3), deq(1, true, 4, 5),
+           deq(0, false, 6, 7)};
+  EXPECT_TRUE(check_bounded_queue(h, 1).linearizable);
+  // The same refusal on a capacity-2 queue has no justification.
+  EXPECT_FALSE(check_bounded_queue(h, 2).linearizable);
+}
+
+TEST(LinearizabilityCheckerTest, OversizedHistoryIsUnverifiedNotViolating) {
+  History h;
+  for (std::size_t i = 0; i < 64; ++i) {
+    h.ops.push_back(enq(i + 1, true, 2 * i, 2 * i + 1));
+  }
+  auto r = check_bounded_queue(h, 128);
+  EXPECT_TRUE(r.history_too_large);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_EQ(r.states_explored, 0u);
+}
+
+TEST(LinearizabilityCheckerTest, CapacityBoundsSuccessfulEnqueues) {
+  History h;
+  h.ops = {enq(1, true, 0, 1), enq(2, true, 2, 3)};
+  EXPECT_FALSE(check_bounded_queue(h, 1).linearizable);
+  EXPECT_TRUE(check_bounded_queue(h, 2).linearizable);
+}
+
+// ---- instrumented rings driven solo --------------------------------------
+
+template <class Ring>
+void check_solo_ring(std::size_t cap) {
+  Ring ring(cap);
+  ScheduledExecution sched;
+  auto enqueue = [&](std::uint64_t v) {
+    typename Ring::EnqueueOp op(ring, v);
+    sched.run(0, op);
+    return op.ok();
+  };
+  auto dequeue = [&](std::uint64_t& out) {
+    typename Ring::DequeueOp op(ring);
+    sched.run(0, op);
+    out = op.value();
+    return op.ok();
+  };
+
+  std::uint64_t out = 0;
+  EXPECT_FALSE(dequeue(out)) << "fresh ring must be empty";
+  // Several full rounds so every bottom policy cycles its encoding.
+  std::uint64_t next = 1;
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < cap; ++i) {
+      EXPECT_TRUE(enqueue(next + i));
+    }
+    EXPECT_FALSE(enqueue(99)) << "ring at capacity must refuse";
+    for (std::size_t i = 0; i < cap; ++i) {
+      ASSERT_TRUE(dequeue(out));
+      EXPECT_EQ(out, next + i) << "FIFO order violated";
+    }
+    EXPECT_FALSE(dequeue(out)) << "drained ring must be empty";
+    next += cap;
+  }
+  // The solo history it produced must itself be linearizable.
+  auto r = check_bounded_queue(sched.history(), cap);
+  EXPECT_TRUE(r.linearizable);
+  EXPECT_GT(r.states_explored, 0u);
+}
+
+TEST(InstrumentedRingTest, NaiveRingSoloFifo) {
+  check_solo_ring<membq::adversary::NaiveRing>(3);
+}
+
+TEST(InstrumentedRingTest, TsigasZhangRingSoloFifo) {
+  check_solo_ring<membq::adversary::TsigasZhangRing>(3);
+}
+
+TEST(InstrumentedRingTest, VersionedRingSoloFifo) {
+  check_solo_ring<membq::adversary::VersionedRing>(3);
+}
+
+// ---- Theorem 3.12 attack verdicts ----------------------------------------
+
+TEST(AdversaryScheduleTest, NaiveRingLosesAfterOneRound) {
+  for (std::size_t cap : {2u, 3u, 4u, 6u, 8u}) {
+    auto r = membq::adversary::attack_naive_ring(cap);
+    EXPECT_EQ(r.capacity, cap);
+    EXPECT_TRUE(r.poised_cas_fired) << "cap " << cap;
+    EXPECT_TRUE(r.victim_reported_success) << "cap " << cap;
+    EXPECT_FALSE(r.check.linearizable) << "cap " << cap;
+    EXPECT_FALSE(r.check.history_too_large) << "cap " << cap;
+    EXPECT_GT(r.check.states_explored, 0u) << "cap " << cap;
+  }
+}
+
+TEST(AdversaryScheduleTest, TsigasZhangLosesAfterTwoRounds) {
+  for (std::size_t cap : {3u, 4u, 6u}) {
+    auto r = membq::adversary::attack_tsigas_zhang(cap, 2);
+    EXPECT_TRUE(r.poised_cas_fired) << "cap " << cap;
+    EXPECT_TRUE(r.victim_reported_success) << "cap " << cap;
+    EXPECT_FALSE(r.check.linearizable) << "cap " << cap;
+    EXPECT_GT(r.check.states_explored, 0u) << "cap " << cap;
+  }
+}
+
+TEST(AdversaryScheduleTest, TsigasZhangSurvivesOneRound) {
+  // The two alternating nulls reject exactly one round of staleness: the
+  // poised CAS is refused, the victim retries against live state, and the
+  // history stays linearizable.
+  for (std::size_t cap : {3u, 4u, 6u}) {
+    auto r = membq::adversary::attack_tsigas_zhang(cap, 1);
+    EXPECT_FALSE(r.poised_cas_fired) << "cap " << cap;
+    EXPECT_TRUE(r.victim_reported_success) << "cap " << cap;
+    EXPECT_TRUE(r.check.linearizable) << "cap " << cap;
+    EXPECT_GT(r.check.states_explored, 0u) << "cap " << cap;
+  }
+}
+
+TEST(AdversaryScheduleTest, DistinctControlDefeatsTheSchedule) {
+  for (std::size_t cap : {3u, 4u, 6u}) {
+    auto r = membq::adversary::attack_distinct(cap);
+    EXPECT_FALSE(r.poised_cas_fired) << "cap " << cap;
+    EXPECT_TRUE(r.victim_reported_success) << "cap " << cap;
+    EXPECT_TRUE(r.check.linearizable) << "cap " << cap;
+    EXPECT_GT(r.check.states_explored, 0u) << "cap " << cap;
+  }
+}
+
+TEST(AdversaryScheduleTest, MultiVictimLosesEveryValue) {
+  for (std::size_t victims : {1u, 2u, 4u}) {
+    auto r = membq::adversary::attack_naive_ring_multi(6, victims);
+    EXPECT_TRUE(r.poised_cas_fired) << victims << " victims";
+    EXPECT_TRUE(r.victim_reported_success) << victims << " victims";
+    EXPECT_FALSE(r.check.linearizable) << victims << " victims";
+    EXPECT_GT(r.check.states_explored, 0u) << victims << " victims";
+  }
+}
+
+}  // namespace
