@@ -3,165 +3,163 @@
 // The classic lock-free queue the paper uses as the memory-unfriendly
 // extreme: every element costs a heap node plus a next pointer. Bounded
 // here by an approximate size counter so it fits the try_enqueue/
-// try_dequeue harness. ABA and use-after-free are handled the 1996 way:
-// 128-bit counted pointers everywhere and a Treiber freelist that recycles
-// nodes without returning them to the allocator until destruction, so a
-// stale pointer always targets valid (if recycled) memory and its tagged
-// CAS fails.
+// try_dequeue harness.
+//
+// Until the reclaim/ subsystem existed this file handled ABA and
+// use-after-free the 1996 way (128-bit counted pointers plus a Treiber
+// freelist that never returned nodes to the allocator). It now runs on
+// the same ReclaimDomain concept as the lock-free L1 queue: plain 64-bit
+// head/tail CASes, dequeued dummies retired to the domain, and the
+// backend (EBR, HP, or the NoReclaim control) chosen by template
+// parameter. Dequeue follows Michael (2004): hazard slot 0 holds head,
+// slot 1 holds next, each validated by re-reading head_ — a node is
+// retired only after head_ moves past it, so "head_ still equals hd"
+// certifies both pointers.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstdint>
 
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/no_reclaim.hpp"
+
 namespace membq {
 
-class MichaelScottQueue {
- public:
-  static constexpr char kName[] = "michael-scott";
+template <class Domain>
+struct MichaelScottQueueName;
 
-  explicit MichaelScottQueue(std::size_t capacity) : cap_(capacity) {
+template <>
+struct MichaelScottQueueName<reclaim::EpochDomain> {
+  static constexpr char value[] = "michael-scott";
+};
+template <>
+struct MichaelScottQueueName<reclaim::HazardDomain> {
+  static constexpr char value[] = "michael-scott(hp)";
+};
+template <>
+struct MichaelScottQueueName<reclaim::NoReclaim> {
+  static constexpr char value[] = "michael-scott(none)";
+};
+
+template <class Domain = reclaim::EpochDomain>
+class MichaelScottQueueT {
+ public:
+  static constexpr const char* kName = MichaelScottQueueName<Domain>::value;
+
+  explicit MichaelScottQueueT(std::size_t capacity,
+                              std::size_t max_threads =
+                                  Domain::kDefaultMaxThreads)
+      : cap_(capacity), domain_(max_threads) {
     assert(capacity > 0);
     Node* dummy = new Node();
-    head_.store(Ptr{dummy, 0}, std::memory_order_relaxed);
-    tail_.store(Ptr{dummy, 0}, std::memory_order_relaxed);
-    free_.store(Ptr{nullptr, 0}, std::memory_order_relaxed);
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
   }
 
-  ~MichaelScottQueue() {
-    Node* n = head_.load(std::memory_order_relaxed).ptr;
+  ~MichaelScottQueueT() {
+    Node* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
-      Node* next = n->next.load(std::memory_order_relaxed).ptr;
+      Node* next = n->next.load(std::memory_order_relaxed);
       delete n;
       n = next;
     }
-    n = free_.load(std::memory_order_relaxed).ptr;
-    while (n != nullptr) {
-      Node* next = n->next.load(std::memory_order_relaxed).ptr;
-      delete n;
-      n = next;
-    }
+    // domain_'s destructor frees the retired backlog.
   }
 
-  MichaelScottQueue(const MichaelScottQueue&) = delete;
-  MichaelScottQueue& operator=(const MichaelScottQueue&) = delete;
+  MichaelScottQueueT(const MichaelScottQueueT&) = delete;
+  MichaelScottQueueT& operator=(const MichaelScottQueueT&) = delete;
 
   std::size_t capacity() const noexcept { return cap_; }
 
-  bool try_enqueue(std::uint64_t v) {
+  std::size_t retired_bytes() const noexcept {
+    return domain_.retired_bytes();
+  }
+
+  class Handle {
+   public:
+    explicit Handle(MichaelScottQueueT& q) : q_(q), h_(q.domain_) {}
+
+    bool try_enqueue(std::uint64_t v) { return q_.enqueue(h_, v); }
+    bool try_dequeue(std::uint64_t& out) { return q_.dequeue(h_, out); }
+
+   private:
+    MichaelScottQueueT& q_;
+    typename Domain::ThreadHandle h_;
+  };
+
+ private:
+  friend class Handle;
+
+  struct Node {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<Node*> next{nullptr};
+
+    static void destroy(void* p) noexcept { delete static_cast<Node*>(p); }
+  };
+
+  bool enqueue(typename Domain::ThreadHandle& h, std::uint64_t v) {
     if (size_.fetch_add(1, std::memory_order_acq_rel) >=
         static_cast<std::uint64_t>(cap_)) {
       size_.fetch_sub(1, std::memory_order_acq_rel);
       return false;
     }
-    Node* n = take_node();
+    Node* n = new Node();
     n->value.store(v, std::memory_order_relaxed);
+    typename Domain::ThreadHandle::Guard g(h);
     for (;;) {
-      Ptr tail = tail_.load(std::memory_order_acquire);
-      Ptr next = tail.ptr->next.load(std::memory_order_acquire);
-      if (!same(tail, tail_.load(std::memory_order_acquire))) continue;
-      if (next.ptr == nullptr) {
-        if (tail.ptr->next.compare_exchange_weak(
-                next, Ptr{n, next.tag + 1}, std::memory_order_acq_rel)) {
-          Ptr expected = tail;
-          tail_.compare_exchange_strong(expected, Ptr{n, tail.tag + 1},
-                                        std::memory_order_acq_rel);
-          return true;
-        }
-      } else {
-        Ptr expected = tail;
-        tail_.compare_exchange_strong(expected, Ptr{next.ptr, tail.tag + 1},
-                                      std::memory_order_acq_rel);
+      Node* t = h.protect(0, tail_);
+      Node* next = t->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        tail_.compare_exchange_strong(t, next);
+        continue;
       }
+      Node* expected = nullptr;
+      if (t->next.compare_exchange_strong(expected, n,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        tail_.compare_exchange_strong(t, n);
+        return true;
+      }
+      tail_.compare_exchange_strong(t, expected);
     }
   }
 
-  bool try_dequeue(std::uint64_t& out) {
+  bool dequeue(typename Domain::ThreadHandle& h, std::uint64_t& out) {
+    typename Domain::ThreadHandle::Guard g(h);
     for (;;) {
-      Ptr head = head_.load(std::memory_order_acquire);
-      Ptr tail = tail_.load(std::memory_order_acquire);
-      Ptr next = head.ptr->next.load(std::memory_order_acquire);
-      if (!same(head, head_.load(std::memory_order_acquire))) continue;
-      if (head.ptr == tail.ptr) {
-        if (next.ptr == nullptr) return false;  // empty
-        Ptr expected = tail;
-        tail_.compare_exchange_strong(expected, Ptr{next.ptr, tail.tag + 1},
-                                      std::memory_order_acq_rel);
-      } else {
-        const std::uint64_t v = next.ptr->value.load(std::memory_order_relaxed);
-        Ptr expected = head;
-        if (head_.compare_exchange_weak(expected, Ptr{next.ptr, head.tag + 1},
-                                        std::memory_order_acq_rel)) {
-          size_.fetch_sub(1, std::memory_order_acq_rel);
-          recycle_node(head.ptr);
-          out = v;
-          return true;
-        }
+      Node* hd = h.protect(0, head_);
+      Node* t = tail_.load(std::memory_order_acquire);
+      Node* next = hd->next.load(std::memory_order_acquire);
+      h.set(1, next);
+      // Re-validate: while head_ still equals hd, neither hd nor its
+      // then-successor can have been retired, so both hazards are sound.
+      if (head_.load(std::memory_order_seq_cst) != hd) continue;
+      if (next == nullptr) return false;  // empty
+      if (hd == t) {
+        tail_.compare_exchange_strong(t, next);
+        continue;
       }
-    }
-  }
-
-  class Handle {
-   public:
-    explicit Handle(MichaelScottQueue& q) noexcept : q_(q) {}
-    bool try_enqueue(std::uint64_t v) { return q_.try_enqueue(v); }
-    bool try_dequeue(std::uint64_t& out) { return q_.try_dequeue(out); }
-
-   private:
-    MichaelScottQueue& q_;
-  };
-
- private:
-  struct Node;
-
-  struct alignas(2 * sizeof(void*)) Ptr {
-    Node* ptr;
-    std::uint64_t tag;
-  };
-
-  struct Node {
-    std::atomic<std::uint64_t> value{0};
-    std::atomic<Ptr> next{Ptr{nullptr, 0}};
-  };
-
-  static bool same(const Ptr& a, const Ptr& b) noexcept {
-    return a.ptr == b.ptr && a.tag == b.tag;
-  }
-
-  Node* take_node() {
-    for (;;) {
-      Ptr top = free_.load(std::memory_order_acquire);
-      if (top.ptr == nullptr) return new Node();
-      Ptr next = top.ptr->next.load(std::memory_order_acquire);
-      Ptr expected = top;
-      if (free_.compare_exchange_weak(expected, Ptr{next.ptr, top.tag + 1},
-                                      std::memory_order_acq_rel)) {
-        Ptr fresh = top.ptr->next.load(std::memory_order_relaxed);
-        top.ptr->next.store(Ptr{nullptr, fresh.tag + 1},
-                            std::memory_order_relaxed);
-        return top.ptr;
-      }
-    }
-  }
-
-  void recycle_node(Node* n) {
-    for (;;) {
-      Ptr top = free_.load(std::memory_order_acquire);
-      Ptr fresh = n->next.load(std::memory_order_relaxed);
-      n->next.store(Ptr{top.ptr, fresh.tag + 1}, std::memory_order_relaxed);
-      Ptr expected = top;
-      if (free_.compare_exchange_weak(expected, Ptr{n, top.tag + 1},
-                                      std::memory_order_acq_rel)) {
-        return;
+      const std::uint64_t v = next->value.load(std::memory_order_acquire);
+      Node* expected = hd;
+      if (head_.compare_exchange_strong(expected, next)) {
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        h.retire(hd, sizeof(Node), &Node::destroy);
+        out = v;
+        return true;
       }
     }
   }
 
   const std::size_t cap_;
-  alignas(64) std::atomic<Ptr> head_;
-  alignas(64) std::atomic<Ptr> tail_;
-  alignas(64) std::atomic<Ptr> free_;
+  Domain domain_;
+  alignas(64) std::atomic<Node*> head_{nullptr};
+  alignas(64) std::atomic<Node*> tail_{nullptr};
   alignas(64) std::atomic<std::uint64_t> size_{0};
 };
+
+// The registry's baseline row keeps the classic name, on the EBR backend.
+using MichaelScottQueue = MichaelScottQueueT<>;
 
 }  // namespace membq

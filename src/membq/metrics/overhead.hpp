@@ -21,6 +21,11 @@ struct OverheadRow {
   std::size_t threads = 0;
   std::size_t overhead_bytes = 0;  // algorithmic overhead
   std::size_t aux_bytes = 0;       // e.g. LL/SC software-emulation stamps
+  // Retired-but-unreclaimed bytes parked in an SMR domain at measurement
+  // time (lock-free queues only). Reported separately so a reclamation
+  // backlog never masquerades as live algorithmic overhead in the Θ-class
+  // inference.
+  std::size_t retired_bytes = 0;
 };
 
 enum class ThetaClass {

@@ -1,0 +1,272 @@
+// L1 (lock-free) — Michael–Scott-style segment chain over an SMR domain.
+//
+// The same memory shape as the mutex SegmentQueue (linked segments of K
+// slots, overhead Θ(C/K + T·K) with the T·K term now the reclamation
+// backlog instead of a recycling pool), but every path is lock-free:
+//
+//   * head_/tail_ are CAS-advanced segment pointers; the chain is
+//     append-only, so both only ever move forward along it.
+//   * within a segment, enqueuers claim write tickets and dequeuers claim
+//     read tickets by fetch_add; a slot goes kEmpty -> value (enqueue CAS)
+//     or kEmpty -> kPoison (a dequeuer that outran its enqueuer burns the
+//     ticket and the enqueuer retries at a later slot). Segments are used
+//     once and retired — no in-place wraparound, so no ABA on slots.
+//   * a drained segment is unlinked by the head CAS and handed to the
+//     reclamation domain; the dequeuer helps tail_ past the segment first,
+//     so a retired segment is never reachable from either root (the
+//     invariant the hazard-pointer validation loop relies on).
+//
+// Boundedness uses the same approximate reservation counter as the
+// Michael–Scott baseline: try_enqueue reserves a slot in size_ up front
+// and backs out when the queue is at capacity.
+//
+// Values must keep bit 63 clear (the kEmpty/kPoison encodings), the same
+// contract as the DCSS-managed words elsewhere in membq.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <thread>
+
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/no_reclaim.hpp"
+
+namespace membq {
+
+// Registry/bench display names per backend; the primary template is left
+// undefined so an unnamed backend fails at compile time.
+template <class Domain>
+struct LockFreeSegmentQueueName;
+
+template <>
+struct LockFreeSegmentQueueName<reclaim::EpochDomain> {
+  static constexpr char value[] = "segment(L1,ebr)";
+};
+template <>
+struct LockFreeSegmentQueueName<reclaim::HazardDomain> {
+  static constexpr char value[] = "segment(L1,hp)";
+};
+template <>
+struct LockFreeSegmentQueueName<reclaim::NoReclaim> {
+  static constexpr char value[] = "segment(L1,none)";
+};
+
+template <class Domain = reclaim::EpochDomain>
+class LockFreeSegmentQueue {
+ public:
+  static constexpr const char* kName =
+      LockFreeSegmentQueueName<Domain>::value;
+  static constexpr std::uint64_t kEmpty = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kPoison = (std::uint64_t{1} << 63) | 1;
+
+  // seg_size == 0 picks the paper's K = floor(sqrt(capacity)).
+  explicit LockFreeSegmentQueue(std::size_t capacity, std::size_t seg_size = 0,
+                                std::size_t max_threads =
+                                    Domain::kDefaultMaxThreads)
+      : cap_(capacity),
+        seg_size_(seg_size != 0 ? seg_size : default_seg_size(capacity)),
+        domain_(max_threads) {
+    assert(capacity > 0);
+    Segment* s = alloc_segment();
+    head_.store(s, std::memory_order_relaxed);
+    tail_.store(s, std::memory_order_relaxed);
+  }
+
+  ~LockFreeSegmentQueue() {
+    Segment* s = head_.load(std::memory_order_relaxed);
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      Segment::destroy(s);
+      s = next;
+    }
+    // domain_'s destructor frees the retired backlog.
+  }
+
+  LockFreeSegmentQueue(const LockFreeSegmentQueue&) = delete;
+  LockFreeSegmentQueue& operator=(const LockFreeSegmentQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::size_t seg_size() const noexcept { return seg_size_; }
+  std::size_t segment_bytes() const noexcept {
+    return sizeof(Segment) + seg_size_ * sizeof(std::atomic<std::uint64_t>);
+  }
+
+  const Domain& domain() const noexcept { return domain_; }
+
+  // Retired-but-unreclaimed backlog: live heap the overhead accounting
+  // must not charge as algorithmic overhead.
+  std::size_t retired_bytes() const noexcept {
+    return domain_.retired_bytes();
+  }
+
+  class Handle {
+   public:
+    explicit Handle(LockFreeSegmentQueue& q) : q_(q), h_(q.domain_) {}
+
+    bool try_enqueue(std::uint64_t v) { return q_.enqueue(h_, v); }
+    bool try_dequeue(std::uint64_t& out) { return q_.dequeue(h_, out); }
+
+    // Drain this thread's reclamation backlog (tests, shutdown).
+    void flush_reclamation() { h_.flush(); }
+
+   private:
+    LockFreeSegmentQueue& q_;
+    typename Domain::ThreadHandle h_;
+  };
+
+ private:
+  friend class Handle;
+
+  struct Segment {
+    std::atomic<Segment*> next{nullptr};
+    alignas(64) std::atomic<std::uint64_t> enq{0};  // next write ticket
+    alignas(64) std::atomic<std::uint64_t> deq{0};  // next read ticket
+
+    std::atomic<std::uint64_t>* slots() noexcept {
+      return reinterpret_cast<std::atomic<std::uint64_t>*>(this + 1);
+    }
+
+    static void destroy(void* p) noexcept {
+      // Slots are trivially destructible; hand the raw block back with
+      // the same over-alignment it was allocated with.
+      static_cast<Segment*>(p)->~Segment();
+      ::operator delete(p, std::align_val_t{alignof(Segment)});
+    }
+  };
+
+  static constexpr int kSpinsBeforePoison = 128;
+
+  static std::size_t default_seg_size(std::size_t capacity) noexcept {
+    std::size_t k = 1;
+    while ((k + 1) * (k + 1) <= capacity) ++k;
+    return k;
+  }
+
+  Segment* alloc_segment() const {
+    // The cache-line alignas on the ticket counters over-aligns Segment
+    // past the default allocator guarantee.
+    void* mem =
+        ::operator new(segment_bytes(), std::align_val_t{alignof(Segment)});
+    Segment* s = new (mem) Segment();
+    auto* sl = s->slots();
+    for (std::size_t i = 0; i < seg_size_; ++i) {
+      new (&sl[i]) std::atomic<std::uint64_t>(kEmpty);
+    }
+    return s;
+  }
+
+  bool enqueue(typename Domain::ThreadHandle& h, std::uint64_t v) {
+    assert((v & kEmpty) == 0 && "bit 63 is reserved for slot encodings");
+    if (size_.fetch_add(1, std::memory_order_acq_rel) >=
+        static_cast<std::uint64_t>(cap_)) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+    typename Domain::ThreadHandle::Guard g(h);
+    for (;;) {
+      Segment* t = h.protect(0, tail_);
+      // Fast path: room in the tail segment. next can only become non-null
+      // after enq reached seg_size_, so a ticket below the limit never
+      // needs to look at it.
+      std::uint64_t i = t->enq.load(std::memory_order_acquire);
+      if (i < seg_size_) {
+        i = t->enq.fetch_add(1, std::memory_order_acq_rel);
+        if (i < seg_size_) {
+          std::uint64_t empty = kEmpty;
+          if (t->slots()[i].compare_exchange_strong(
+                  empty, v, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            return true;
+          }
+          continue;  // an impatient dequeuer poisoned the slot; next ticket
+        }
+        // fetch_add overshot past the end; fall through to the slow path.
+      }
+      Segment* next = t->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        // tail_ lags behind the chain; help it forward and retry.
+        tail_.compare_exchange_strong(t, next);
+        continue;
+      }
+      // Segment exhausted: append a fresh one with v pre-installed, so the
+      // winning appender finishes its enqueue in the same step.
+      Segment* s = alloc_segment();
+      s->slots()[0].store(v, std::memory_order_relaxed);
+      s->enq.store(1, std::memory_order_relaxed);
+      Segment* expected = nullptr;
+      if (t->next.compare_exchange_strong(expected, s,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        tail_.compare_exchange_strong(t, s);
+        return true;
+      }
+      Segment::destroy(s);  // lost the append race; s was never published
+      tail_.compare_exchange_strong(t, expected);
+    }
+  }
+
+  bool dequeue(typename Domain::ThreadHandle& h, std::uint64_t& out) {
+    typename Domain::ThreadHandle::Guard g(h);
+    for (;;) {
+      Segment* hd = h.protect(0, head_);
+      const std::uint64_t d = hd->deq.load(std::memory_order_acquire);
+      const std::uint64_t e = hd->enq.load(std::memory_order_acquire);
+      const std::uint64_t lim = e < seg_size_ ? e : seg_size_;
+      if (d >= lim) {
+        if (lim < seg_size_) return false;  // head segment not yet full
+        Segment* next = hd->next.load(std::memory_order_acquire);
+        if (next == nullptr) return false;  // fully drained, nothing after
+        // Help tail_ past hd before unlinking it: a retired segment must
+        // never be reachable from either root.
+        Segment* t = tail_.load(std::memory_order_acquire);
+        if (t == hd) tail_.compare_exchange_strong(t, next);
+        Segment* expected = hd;
+        if (head_.compare_exchange_strong(expected, next)) {
+          h.retire(hd, segment_bytes(), &Segment::destroy);
+        }
+        continue;
+      }
+      const std::uint64_t i = hd->deq.fetch_add(1, std::memory_order_acq_rel);
+      if (i >= seg_size_) continue;  // overshoot; the drained path handles it
+      auto& slot = hd->slots()[i];
+      std::uint64_t v = slot.load(std::memory_order_acquire);
+      for (int spin = 0; v == kEmpty && spin < kSpinsBeforePoison; ++spin) {
+        // One yield near the end of the spin window: if the missing
+        // enqueuer was preempted between its ticket and its slot CAS
+        // (guaranteed on a single CPU), this lets the value land instead
+        // of burning the ticket and cascading segment churn. Progress
+        // never depends on it — the poison path below stays lock-free.
+        if (spin == kSpinsBeforePoison / 2) std::this_thread::yield();
+        v = slot.load(std::memory_order_acquire);
+      }
+      if (v == kEmpty) {
+        std::uint64_t empty = kEmpty;
+        if (slot.compare_exchange_strong(empty, kPoison,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          continue;  // ticket burned; its enqueuer will retry elsewhere
+        }
+        v = empty;  // the CAS lost because the value just landed
+      }
+      out = v;
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+
+  const std::size_t cap_;
+  const std::size_t seg_size_;
+  Domain domain_;
+  alignas(64) std::atomic<Segment*> head_{nullptr};
+  alignas(64) std::atomic<Segment*> tail_{nullptr};
+  alignas(64) std::atomic<std::uint64_t> size_{0};
+};
+
+using EbrSegmentQueue = LockFreeSegmentQueue<reclaim::EpochDomain>;
+using HpSegmentQueue = LockFreeSegmentQueue<reclaim::HazardDomain>;
+
+}  // namespace membq

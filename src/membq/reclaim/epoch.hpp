@@ -1,0 +1,283 @@
+// Epoch-based reclamation (EBR) in the style of Fraser (2004).
+//
+// A global epoch counter advances when every active thread has observed
+// the current value. Readers pin the epoch for the duration of one
+// operation (Guard); retired nodes go to the retiring thread's private
+// limbo list tagged with the epoch at retirement, and are freed once the
+// global epoch is two ahead of the tag — by then every thread that could
+// have seen the node has left its critical section.
+//
+// Why tag+2 is safe: the epoch advances e -> e+1 only when every non-idle
+// reservation equals e (checked with seq_cst scans). A node retired at
+// epoch r was unlinked from every root before the retiring thread read r
+// from the global counter, so in the seq_cst total order the unlink
+// precedes the advance to r+1. A reader pinned at r'>=r+1 read the global
+// counter after that advance, hence after the unlink, and same-variable
+// seq_cst coherence means its root loads cannot return the unlinked node.
+// Readers pinned at <= r block the advance to r+2, so when the global
+// epoch reaches r+2 no one can still hold the node. Per-operation cost is
+// one seq_cst load + one seq_cst store (the pin), the cheapest of the
+// backends; the price is that one stalled reader stalls *all* reclamation.
+//
+// Per-thread amnesty is batched: every kBatch retires the owner tries to
+// advance the epoch and frees whatever its limbo list has accumulated
+// beyond the two-epoch horizon. Handles splice leftover limbo into the
+// domain's orphan list on destruction; the domain frees orphans when it is
+// destroyed (by contract, with no concurrent users left).
+//
+// Pinning is QSBR-flavored: Guard exit leaves the reservation in place and
+// the next enter refreshes it only when the global epoch moved, so the
+// seq_cst publication store (the one x86 fence on this path) is paid once
+// per epoch advance, not once per operation. Staying pinned is always
+// safe — a pin can only delay reclamation, never unprotect — but it means
+// a handle that goes idle without quiesce()/destruction holds the epoch
+// back until its next operation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+#include "reclaim/reclaim.hpp"
+
+namespace membq {
+namespace reclaim {
+
+class EpochDomain {
+ public:
+  static constexpr char kShortName[] = "ebr";
+  static constexpr std::size_t kDefaultMaxThreads = 64;
+  static constexpr std::size_t kBatch = 64;  // retires between amnesties
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  explicit EpochDomain(std::size_t max_threads = kDefaultMaxThreads)
+      : max_threads_(max_threads) {
+    if (max_threads_ == 0) {
+      throw std::invalid_argument("EpochDomain: max_threads must be > 0");
+    }
+    reservations_ = new Reservation[max_threads_];
+    slot_used_ = new std::atomic<bool>[max_threads_];
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      reservations_[i].epoch.store(kIdle, std::memory_order_relaxed);
+      slot_used_[i].store(false, std::memory_order_relaxed);
+    }
+  }
+
+  // Contract: no live handles and no concurrent access.
+  ~EpochDomain() {
+    free_record_list(orphans_);
+    delete[] reservations_;
+    delete[] slot_used_;
+  }
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+  std::uint64_t global_epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Retired-but-unreclaimed backlog charged to this domain (object bytes
+  // plus bookkeeping records), the E9 correction term.
+  std::size_t retired_bytes() const noexcept {
+    return retired_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t retired_objects() const noexcept {
+    return retired_objects_.load(std::memory_order_relaxed);
+  }
+
+  class ThreadHandle {
+   public:
+    explicit ThreadHandle(EpochDomain& domain)
+        : domain_(domain), slot_(domain.acquire_slot()) {}
+
+    ~ThreadHandle() {
+      flush();
+      if (limbo_ != nullptr) {
+        domain_.adopt_orphans(limbo_);
+        limbo_ = nullptr;
+      }
+      domain_.release_slot(slot_);
+    }
+
+    ThreadHandle(const ThreadHandle&) = delete;
+    ThreadHandle& operator=(const ThreadHandle&) = delete;
+
+    // Brackets one operation on the protected structure.
+    class Guard {
+     public:
+      explicit Guard(ThreadHandle& h) noexcept : h_(h) { h_.enter(); }
+      ~Guard() { h_.exit(); }
+      Guard(const Guard&) = delete;
+      Guard& operator=(const Guard&) = delete;
+
+     private:
+      ThreadHandle& h_;
+    };
+
+    // Under an active Guard a plain load is already safe; seq_cst keeps
+    // the coherence argument in the header comment airtight.
+    template <class T>
+    T* protect(std::size_t /*slot*/, const std::atomic<T*>& src) noexcept {
+      return src.load(std::memory_order_seq_cst);
+    }
+
+    template <class T>
+    void set(std::size_t /*slot*/, T* /*p*/) noexcept {}
+
+    void retire(void* p, std::size_t bytes, void (*deleter)(void*)) {
+      auto* rec = new RetiredRecord{
+          p, bytes, deleter,
+          domain_.global_epoch_.load(std::memory_order_seq_cst), limbo_};
+      limbo_ = rec;
+      ++limbo_count_;
+      const std::size_t charged = bytes + sizeof(RetiredRecord);
+      account_retire(charged);
+      domain_.retired_bytes_.fetch_add(charged, std::memory_order_relaxed);
+      domain_.retired_objects_.fetch_add(1, std::memory_order_relaxed);
+      if (++since_amnesty_ >= kBatch) {
+        since_amnesty_ = 0;
+        amnesty();
+      }
+    }
+
+    // Best-effort drain: drop our own sticky pin (it would veto the
+    // advance past its epoch), then repeatedly advance and free whatever
+    // crosses the two-epoch horizon. With no concurrent pinned readers,
+    // three rounds clear the whole limbo list. Must not be called inside
+    // an active Guard — it unpins the calling thread.
+    void flush() {
+      quiesce();
+      for (int round = 0; round < 3 && limbo_ != nullptr; ++round) amnesty();
+    }
+
+    // Drop the lazy pin so other threads' amnesties can advance past us.
+    // Implicit on destruction; call it when parking a handle.
+    void quiesce() noexcept {
+      if (pinned_ == kIdle) return;
+      domain_.reservations_[slot_].epoch.store(kIdle,
+                                               std::memory_order_release);
+      pinned_ = kIdle;
+    }
+
+    std::size_t limbo_size() const noexcept { return limbo_count_; }
+
+   private:
+    friend class Guard;
+
+    void enter() noexcept {
+      const std::uint64_t e =
+          domain_.global_epoch_.load(std::memory_order_seq_cst);
+      if (e != pinned_) {
+        // The reservation has held pinned_ continuously since it was
+        // published, so skipping the store keeps full protection; only an
+        // epoch move (or a fresh/quiesced handle) pays the fence.
+        domain_.reservations_[slot_].epoch.store(e,
+                                                 std::memory_order_seq_cst);
+        pinned_ = e;
+      }
+    }
+
+    void exit() noexcept {
+      // Stay pinned (see the header comment); quiesce() drops the pin.
+    }
+
+    void amnesty() {
+      domain_.try_advance();
+      const std::uint64_t cur =
+          domain_.global_epoch_.load(std::memory_order_acquire);
+      RetiredRecord* keep = nullptr;
+      std::size_t keep_count = 0;
+      RetiredRecord* r = limbo_;
+      while (r != nullptr) {
+        RetiredRecord* next = r->next;
+        if (r->epoch + 2 <= cur) {
+          r->deleter(r->ptr);
+          const std::size_t charged = r->bytes + sizeof(RetiredRecord);
+          account_reclaim(charged);
+          domain_.retired_bytes_.fetch_sub(charged,
+                                           std::memory_order_relaxed);
+          domain_.retired_objects_.fetch_sub(1, std::memory_order_relaxed);
+          delete r;
+        } else {
+          r->next = keep;
+          keep = r;
+          ++keep_count;
+        }
+        r = next;
+      }
+      limbo_ = keep;
+      limbo_count_ = keep_count;
+    }
+
+    EpochDomain& domain_;
+    std::size_t slot_;
+    std::uint64_t pinned_ = kIdle;  // mirrors our reservation slot
+    RetiredRecord* limbo_ = nullptr;
+    std::size_t limbo_count_ = 0;
+    std::size_t since_amnesty_ = 0;
+  };
+
+ private:
+  friend class ThreadHandle;
+
+  struct alignas(64) Reservation {
+    std::atomic<std::uint64_t> epoch{kIdle};
+  };
+
+  // Advance e -> e+1 iff every non-idle reservation equals e. A reader
+  // pinned behind the current epoch vetoes the advance — that is the whole
+  // safety argument.
+  bool try_advance() noexcept {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      const std::uint64_t r =
+          reservations_[i].epoch.load(std::memory_order_seq_cst);
+      if (r != kIdle && r != e) return false;
+    }
+    std::uint64_t expected = e;
+    return global_epoch_.compare_exchange_strong(expected, e + 1,
+                                                 std::memory_order_seq_cst);
+  }
+
+  std::size_t acquire_slot() {
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      bool expected = false;
+      if (slot_used_[i].compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    throw std::runtime_error(
+        "EpochDomain: more live ThreadHandles than max_threads");
+  }
+
+  void release_slot(std::size_t slot) noexcept {
+    slot_used_[slot].store(false, std::memory_order_release);
+  }
+
+  void adopt_orphans(RetiredRecord* head) {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    RetiredRecord* tail = head;
+    while (tail->next != nullptr) tail = tail->next;
+    tail->next = orphans_;
+    orphans_ = head;
+  }
+
+  const std::size_t max_threads_;
+  alignas(64) std::atomic<std::uint64_t> global_epoch_{2};
+  Reservation* reservations_ = nullptr;
+  std::atomic<bool>* slot_used_ = nullptr;
+  std::atomic<std::size_t> retired_bytes_{0};
+  std::atomic<std::size_t> retired_objects_{0};
+
+  std::mutex orphan_mu_;  // handle teardown only, never on the hot path
+  RetiredRecord* orphans_ = nullptr;
+};
+
+}  // namespace reclaim
+}  // namespace membq

@@ -1,0 +1,261 @@
+// Hazard pointers (HP) in the style of Michael (2004).
+//
+// Each thread owns kSlotsPerThread single-writer hazard slots. protect()
+// publishes a candidate pointer into a slot and re-reads the source until
+// the two agree; because nodes are unlinked from every root *before* being
+// retired, a validated pointer is either still reachable or was published
+// before its retirer's scan could run — either way the scan sees it and
+// keeps the node. retire() appends to the thread's private list; once the
+// list exceeds the scan threshold (2x the total slot count, Michael's
+// recommendation) the thread snapshots every hazard slot and frees exactly
+// the retired nodes no slot names.
+//
+// Trade-off vs EBR: each protect of a *new* pointer costs a store+fence
+// (seq_cst round trip), but the backlog is bounded by the scan threshold
+// no matter how long any reader stalls — a parked thread holds back at
+// most the kSlotsPerThread nodes its own slots name.
+//
+// Hazard slots are sticky: Guard exit leaves them published and each
+// handle mirrors its last-published pointer, so re-protecting the same
+// node (the common case for segment/ring roots that move every K ops) is
+// a fence-free load+compare. This is safe because the slot has named the
+// node continuously since publication — any scan that could free it must
+// see the hazard — at the cost of an idle handle pinning up to
+// kSlotsPerThread nodes until clear_hazards() or destruction.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "reclaim/reclaim.hpp"
+
+namespace membq {
+namespace reclaim {
+
+class HazardDomain {
+ public:
+  static constexpr char kShortName[] = "hp";
+  static constexpr std::size_t kDefaultMaxThreads = 64;
+  static constexpr std::size_t kSlotsPerThread = 2;
+
+  explicit HazardDomain(std::size_t max_threads = kDefaultMaxThreads)
+      : max_threads_(max_threads),
+        total_slots_(max_threads * kSlotsPerThread),
+        scan_threshold_(std::max<std::size_t>(2 * total_slots_, 16)) {
+    if (max_threads_ == 0) {
+      throw std::invalid_argument("HazardDomain: max_threads must be > 0");
+    }
+    hazards_ = new HazardSlot[total_slots_];
+    slot_used_ = new std::atomic<bool>[max_threads_];
+    for (std::size_t i = 0; i < total_slots_; ++i) {
+      hazards_[i].ptr.store(nullptr, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      slot_used_[i].store(false, std::memory_order_relaxed);
+    }
+  }
+
+  // Contract: no live handles and no concurrent access.
+  ~HazardDomain() {
+    free_record_list(orphans_);
+    delete[] hazards_;
+    delete[] slot_used_;
+  }
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  std::size_t max_threads() const noexcept { return max_threads_; }
+  std::size_t scan_threshold() const noexcept { return scan_threshold_; }
+
+  std::size_t retired_bytes() const noexcept {
+    return retired_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t retired_objects() const noexcept {
+    return retired_objects_.load(std::memory_order_relaxed);
+  }
+
+  class ThreadHandle {
+   public:
+    explicit ThreadHandle(HazardDomain& domain)
+        : domain_(domain), slot_(domain.acquire_slot()) {}
+
+    ~ThreadHandle() {
+      clear_hazards();
+      scan();
+      if (retired_ != nullptr) {
+        // Someone else's hazard slot still names a node we retired; the
+        // domain frees these leftovers at its own destruction.
+        domain_.adopt_orphans(retired_);
+        retired_ = nullptr;
+      }
+      domain_.release_slot(slot_);
+    }
+
+    ThreadHandle(const ThreadHandle&) = delete;
+    ThreadHandle& operator=(const ThreadHandle&) = delete;
+
+    // Hazards are sticky across operations (see header comment); the
+    // guard exists for interface parity with the other backends.
+    class Guard {
+     public:
+      explicit Guard(ThreadHandle& /*h*/) noexcept {}
+      Guard(const Guard&) = delete;
+      Guard& operator=(const Guard&) = delete;
+    };
+
+    // Publish-and-validate loop: on return, slot `i` names the returned
+    // pointer and src still pointed at it after publication, so no scan
+    // that could free it can have missed the hazard. If the slot already
+    // names what src holds, the hazard has been continuously published
+    // since an earlier protect and no store (or fence) is needed — a root
+    // can never point at an already-retired node.
+    template <class T>
+    T* protect(std::size_t i, const std::atomic<T*>& src) noexcept {
+      T* p = src.load(std::memory_order_seq_cst);
+      if (static_cast<void*>(p) == published_[i]) return p;
+      for (;;) {
+        hazard(i).store(p, std::memory_order_seq_cst);
+        T* again = src.load(std::memory_order_seq_cst);
+        if (again == p) {
+          published_[i] = p;
+          return p;
+        }
+        p = again;
+      }
+    }
+
+    // Raw publication for pointers read through another protected node
+    // (e.g. head->next); the caller must re-validate reachability before
+    // dereferencing.
+    template <class T>
+    void set(std::size_t i, T* p) noexcept {
+      if (static_cast<void*>(p) == published_[i]) return;
+      hazard(i).store(p, std::memory_order_seq_cst);
+      published_[i] = p;
+    }
+
+    // Unpublish every slot so scans (ours and other threads') can free
+    // what we were reading. Implicit on destruction; call it when parking
+    // a handle.
+    void clear_hazards() noexcept {
+      for (std::size_t i = 0; i < kSlotsPerThread; ++i) {
+        hazard(i).store(nullptr, std::memory_order_release);
+        published_[i] = nullptr;
+      }
+    }
+
+    void retire(void* p, std::size_t bytes, void (*deleter)(void*)) {
+      auto* rec = new RetiredRecord{p, bytes, deleter, 0, retired_};
+      retired_ = rec;
+      ++retired_count_;
+      const std::size_t charged = bytes + sizeof(RetiredRecord);
+      account_retire(charged);
+      domain_.retired_bytes_.fetch_add(charged, std::memory_order_relaxed);
+      domain_.retired_objects_.fetch_add(1, std::memory_order_relaxed);
+      if (retired_count_ >= domain_.scan_threshold_) scan();
+    }
+
+    void flush() { scan(); }
+
+    std::size_t retired_list_size() const noexcept { return retired_count_; }
+
+   private:
+    friend class Guard;
+
+    std::atomic<void*>& hazard(std::size_t i) noexcept {
+      return domain_.hazards_[slot_ * kSlotsPerThread + i].ptr;
+    }
+
+    // Snapshot every hazard slot, then free exactly the retired nodes the
+    // snapshot does not name. Sorted snapshot + binary search keeps the
+    // scan at O(R log H).
+    void scan() {
+      std::vector<void*> snapshot;
+      snapshot.reserve(domain_.total_slots_);
+      for (std::size_t i = 0; i < domain_.total_slots_; ++i) {
+        void* p = domain_.hazards_[i].ptr.load(std::memory_order_seq_cst);
+        if (p != nullptr) snapshot.push_back(p);
+      }
+      std::sort(snapshot.begin(), snapshot.end());
+      RetiredRecord* keep = nullptr;
+      std::size_t keep_count = 0;
+      RetiredRecord* r = retired_;
+      while (r != nullptr) {
+        RetiredRecord* next = r->next;
+        if (std::binary_search(snapshot.begin(), snapshot.end(), r->ptr)) {
+          r->next = keep;
+          keep = r;
+          ++keep_count;
+        } else {
+          r->deleter(r->ptr);
+          const std::size_t charged = r->bytes + sizeof(RetiredRecord);
+          account_reclaim(charged);
+          domain_.retired_bytes_.fetch_sub(charged,
+                                           std::memory_order_relaxed);
+          domain_.retired_objects_.fetch_sub(1, std::memory_order_relaxed);
+          delete r;
+        }
+        r = next;
+      }
+      retired_ = keep;
+      retired_count_ = keep_count;
+    }
+
+    HazardDomain& domain_;
+    std::size_t slot_;
+    void* published_[kSlotsPerThread] = {};  // mirrors our hazard slots
+    RetiredRecord* retired_ = nullptr;
+    std::size_t retired_count_ = 0;
+  };
+
+ private:
+  friend class ThreadHandle;
+
+  struct alignas(64) HazardSlot {
+    std::atomic<void*> ptr{nullptr};
+  };
+
+  std::size_t acquire_slot() {
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      bool expected = false;
+      if (slot_used_[i].compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    throw std::runtime_error(
+        "HazardDomain: more live ThreadHandles than max_threads");
+  }
+
+  void release_slot(std::size_t slot) noexcept {
+    slot_used_[slot].store(false, std::memory_order_release);
+  }
+
+  void adopt_orphans(RetiredRecord* head) {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    RetiredRecord* tail = head;
+    while (tail->next != nullptr) tail = tail->next;
+    tail->next = orphans_;
+    orphans_ = head;
+  }
+
+  const std::size_t max_threads_;
+  const std::size_t total_slots_;
+  const std::size_t scan_threshold_;
+  HazardSlot* hazards_ = nullptr;
+  std::atomic<bool>* slot_used_ = nullptr;
+  std::atomic<std::size_t> retired_bytes_{0};
+  std::atomic<std::size_t> retired_objects_{0};
+
+  std::mutex orphan_mu_;  // handle teardown only, never on the hot path
+  RetiredRecord* orphans_ = nullptr;
+};
+
+}  // namespace reclaim
+}  // namespace membq

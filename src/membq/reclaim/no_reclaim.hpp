@@ -1,0 +1,91 @@
+// The control backend: nothing is reclaimed until the domain dies.
+//
+// retire() parks the node on a mutex-protected list that the domain frees
+// in its destructor. With no frees during the run there can be no
+// use-after-free by construction, which makes this the reference backend
+// for leak-checked single-shot runs: a counting-allocator delta of zero
+// after destruction proves every retired node was handed over exactly
+// once, independent of any epoch/hazard machinery. Memory is unbounded —
+// do not use it for sustained workloads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+#include "reclaim/reclaim.hpp"
+
+namespace membq {
+namespace reclaim {
+
+class NoReclaim {
+ public:
+  static constexpr char kShortName[] = "none";
+  static constexpr std::size_t kDefaultMaxThreads = 64;
+
+  explicit NoReclaim(std::size_t /*max_threads*/ = kDefaultMaxThreads) {}
+
+  // Contract: no live handles and no concurrent access.
+  ~NoReclaim() { free_record_list(parked_); }
+
+  NoReclaim(const NoReclaim&) = delete;
+  NoReclaim& operator=(const NoReclaim&) = delete;
+
+  std::size_t retired_bytes() const noexcept {
+    return retired_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t retired_objects() const noexcept {
+    return retired_objects_.load(std::memory_order_relaxed);
+  }
+
+  class ThreadHandle {
+   public:
+    explicit ThreadHandle(NoReclaim& domain) noexcept : domain_(domain) {}
+
+    ThreadHandle(const ThreadHandle&) = delete;
+    ThreadHandle& operator=(const ThreadHandle&) = delete;
+
+    class Guard {
+     public:
+      explicit Guard(ThreadHandle& /*h*/) noexcept {}
+      Guard(const Guard&) = delete;
+      Guard& operator=(const Guard&) = delete;
+    };
+
+    // Nothing is ever freed mid-run, so a plain load is safe.
+    template <class T>
+    T* protect(std::size_t /*slot*/, const std::atomic<T*>& src) noexcept {
+      return src.load(std::memory_order_seq_cst);
+    }
+
+    template <class T>
+    void set(std::size_t /*slot*/, T* /*p*/) noexcept {}
+
+    void retire(void* p, std::size_t bytes, void (*deleter)(void*)) {
+      auto* rec = new RetiredRecord{p, bytes, deleter, 0, nullptr};
+      const std::size_t charged = bytes + sizeof(RetiredRecord);
+      account_retire(charged);
+      domain_.retired_bytes_.fetch_add(charged, std::memory_order_relaxed);
+      domain_.retired_objects_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(domain_.mu_);
+      rec->next = domain_.parked_;
+      domain_.parked_ = rec;
+    }
+
+    void flush() noexcept {}
+
+   private:
+    NoReclaim& domain_;
+  };
+
+ private:
+  friend class ThreadHandle;
+
+  std::mutex mu_;
+  RetiredRecord* parked_ = nullptr;
+  std::atomic<std::size_t> retired_bytes_{0};
+  std::atomic<std::size_t> retired_objects_{0};
+};
+
+}  // namespace reclaim
+}  // namespace membq

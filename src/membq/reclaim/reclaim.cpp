@@ -1,0 +1,56 @@
+#include "reclaim/reclaim.hpp"
+
+#include <atomic>
+
+namespace membq {
+namespace reclaim {
+
+namespace {
+
+// Constant-initialized so accounting is valid however early a domain runs
+// (mirrors the counting allocator's globals).
+std::atomic<std::size_t> g_retired_bytes{0};
+std::atomic<std::size_t> g_retired_objects{0};
+std::atomic<std::size_t> g_reclaimed_objects{0};
+
+ReclaimCounter g_counter{};
+
+}  // namespace
+
+std::size_t ReclaimCounter::retired_bytes() const noexcept {
+  return g_retired_bytes.load(std::memory_order_relaxed);
+}
+
+std::size_t ReclaimCounter::retired_objects() const noexcept {
+  return g_retired_objects.load(std::memory_order_relaxed);
+}
+
+std::size_t ReclaimCounter::reclaimed_objects() const noexcept {
+  return g_reclaimed_objects.load(std::memory_order_relaxed);
+}
+
+ReclaimCounter& ReclaimCounter::instance() noexcept { return g_counter; }
+
+void account_retire(std::size_t bytes) noexcept {
+  g_retired_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_retired_objects.fetch_add(1, std::memory_order_relaxed);
+}
+
+void account_reclaim(std::size_t bytes) noexcept {
+  g_retired_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  g_retired_objects.fetch_sub(1, std::memory_order_relaxed);
+  g_reclaimed_objects.fetch_add(1, std::memory_order_relaxed);
+}
+
+void free_record_list(RetiredRecord* head) noexcept {
+  while (head != nullptr) {
+    RetiredRecord* next = head->next;
+    head->deleter(head->ptr);
+    account_reclaim(head->bytes + sizeof(RetiredRecord));
+    delete head;
+    head = next;
+  }
+}
+
+}  // namespace reclaim
+}  // namespace membq

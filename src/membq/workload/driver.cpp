@@ -24,22 +24,7 @@ const char* to_string(Mix mix) noexcept {
 
 namespace detail {
 
-namespace {
-
-double percentile(const std::vector<std::uint64_t>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
-         static_cast<double>(sorted[hi]) * frac;
-}
-
-}  // namespace
-
 void finalize(RunResult& r, std::vector<ThreadStats>& stats) {
-  std::vector<std::uint64_t> samples;
   std::uint64_t first_start = ~std::uint64_t{0};
   std::uint64_t last_end = 0;
   for (const ThreadStats& st : stats) {
@@ -49,8 +34,7 @@ void finalize(RunResult& r, std::vector<ThreadStats>& stats) {
     r.deq_fail += st.deq_fail;
     first_start = std::min(first_start, st.start_ns);
     last_end = std::max(last_end, st.end_ns);
-    samples.insert(samples.end(), st.samples_ns.begin(),
-                   st.samples_ns.end());
+    r.latency.merge(st.latency);
   }
   const double seconds =
       last_end > first_start
@@ -59,12 +43,11 @@ void finalize(RunResult& r, std::vector<ThreadStats>& stats) {
   r.seconds = seconds;
   const double completed = static_cast<double>(r.enq_ok + r.deq_ok);
   r.mops = seconds > 0.0 ? completed / seconds / 1e6 : 0.0;
-  if (r.latency_sampled && !samples.empty()) {
-    std::sort(samples.begin(), samples.end());
-    r.p50_ns = percentile(samples, 0.50);
-    r.p99_ns = percentile(samples, 0.99);
-    r.p999_ns = percentile(samples, 0.999);
-    r.max_ns = static_cast<double>(samples.back());
+  if (r.latency_sampled && r.latency.count() > 0) {
+    r.p50_ns = r.latency.percentile(0.50);
+    r.p99_ns = r.latency.percentile(0.99);
+    r.p999_ns = r.latency.percentile(0.999);
+    r.max_ns = static_cast<double>(r.latency.max());
   }
 }
 

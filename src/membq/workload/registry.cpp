@@ -13,7 +13,9 @@
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
 #include "queues/llsc_queue.hpp"
+#include "queues/lockfree_segment_queue.hpp"
 #include "queues/segment_queue.hpp"
+#include "reclaim/reclaim.hpp"
 #include "sync/llsc.hpp"
 
 namespace membq {
@@ -21,12 +23,22 @@ namespace workload {
 
 namespace {
 
+struct ChurnMeasurement {
+  std::size_t live_bytes = 0;     // heap delta vs the pre-construction mark
+  std::size_t retired_bytes = 0;  // SMR backlog delta at measurement time
+};
+
 // Overhead protocol: fill to capacity, drain, fill again. The churn
-// forces node/segment recycling structures (freelists, pools) to reach
-// their steady footprint, and the final fill leaves the queue full so
-// element storage is exactly C words.
+// forces node/segment recycling structures (freelists, pools, reclamation
+// domains) to reach their steady footprint, and the final fill leaves the
+// queue full so element storage is exactly C words. Measurement happens
+// while the handle is still live — destroying it would flush the SMR
+// backlog, and a real workload's threads hold their handles at steady
+// state.
 template <class Q>
-void churn_full(Q& q, std::size_t capacity) {
+ChurnMeasurement churn_full(Q& q, std::size_t capacity,
+                            std::size_t live_before,
+                            std::size_t retired_before) {
   typename Q::Handle h(q);
   std::uint64_t seq = 1;
   std::uint64_t out;
@@ -37,6 +49,11 @@ void churn_full(Q& q, std::size_t capacity) {
   for (std::size_t i = 0; i < capacity; ++i) {
     (void)h.try_enqueue(detail::make_value(0, seq++));
   }
+  ChurnMeasurement m;
+  m.live_bytes = AllocCounter::instance().live_bytes() - live_before;
+  m.retired_bytes =
+      reclaim::ReclaimCounter::instance().retired_bytes() - retired_before;
+  return m;
 }
 
 // MakeFn: unique_ptr<Q>(capacity, threads). AuxFn: bytes to report
@@ -61,14 +78,20 @@ QueueSpec make_spec(std::string name, std::size_t max_threads, MakeFn make,
   };
   spec.overhead = [name, make, aux](std::size_t capacity,
                                     std::size_t threads) {
-    auto& counter = AllocCounter::instance();
-    const std::size_t before = counter.live_bytes();
-    std::size_t live = 0;
+    const std::size_t before = AllocCounter::instance().live_bytes();
+    const std::size_t retired_before =
+        reclaim::ReclaimCounter::instance().retired_bytes();
+    ChurnMeasurement m;
     {
       auto q = make(capacity, threads);
-      churn_full(*q, capacity);
-      live = counter.live_bytes() - before;
+      // SMR-backed queues still hold drained segments/nodes in their
+      // reclamation domain at measurement time; that backlog is live heap
+      // but not algorithmic overhead, so it gets its own column and is
+      // subtracted below.
+      m = churn_full(*q, capacity, before, retired_before);
     }
+    const std::size_t live = m.live_bytes;
+    const std::size_t retired = m.retired_bytes;
     metrics::OverheadRow row;
     row.queue = name;
     row.capacity = capacity;
@@ -76,8 +99,10 @@ QueueSpec make_spec(std::string name, std::size_t max_threads, MakeFn make,
     const std::size_t element_bytes = capacity * sizeof(std::uint64_t);
     const std::size_t aux_bytes = aux(capacity, threads);
     const std::size_t gross = live > element_bytes ? live - element_bytes : 0;
+    const std::size_t deductions = aux_bytes + retired;
     row.aux_bytes = aux_bytes;
-    row.overhead_bytes = gross > aux_bytes ? gross - aux_bytes : 0;
+    row.retired_bytes = retired;
+    row.overhead_bytes = gross > deductions ? gross - deductions : 0;
     return row;
   };
   return spec;
@@ -90,7 +115,7 @@ std::size_t no_aux(std::size_t, std::size_t) { return 0; }
 std::vector<QueueSpec> all_queues(std::size_t max_threads) {
   const std::size_t mt = std::max<std::size_t>(max_threads, 2);
   std::vector<QueueSpec> queues;
-  queues.reserve(9);
+  queues.reserve(11);
 
   queues.push_back(make_spec<OptimalQueue>(
       OptimalQueue::kName, mt,
@@ -128,6 +153,24 @@ std::vector<QueueSpec> all_queues(std::size_t max_threads) {
       },
       no_aux));
 
+  // Lock-free L1 realizations, one row per reclamation backend; the mutex
+  // realization above stays as the baseline row.
+  queues.push_back(make_spec<LockFreeSegmentQueue<reclaim::EpochDomain>>(
+      LockFreeSegmentQueue<reclaim::EpochDomain>::kName, mt,
+      [](std::size_t c, std::size_t t) {
+        return std::make_unique<LockFreeSegmentQueue<reclaim::EpochDomain>>(
+            c, /*seg_size=*/0, /*max_threads=*/t);
+      },
+      no_aux));
+
+  queues.push_back(make_spec<LockFreeSegmentQueue<reclaim::HazardDomain>>(
+      LockFreeSegmentQueue<reclaim::HazardDomain>::kName, mt,
+      [](std::size_t c, std::size_t t) {
+        return std::make_unique<LockFreeSegmentQueue<reclaim::HazardDomain>>(
+            c, /*seg_size=*/0, /*max_threads=*/t);
+      },
+      no_aux));
+
   queues.push_back(make_spec<VyukovQueue>(
       VyukovQueue::kName, mt,
       [](std::size_t c, std::size_t) {
@@ -142,8 +185,8 @@ std::vector<QueueSpec> all_queues(std::size_t max_threads) {
 
   queues.push_back(make_spec<MichaelScottQueue>(
       MichaelScottQueue::kName, mt,
-      [](std::size_t c, std::size_t) {
-        return std::make_unique<MichaelScottQueue>(c);
+      [](std::size_t c, std::size_t t) {
+        return std::make_unique<MichaelScottQueue>(c, /*max_threads=*/t);
       },
       no_aux));
 

@@ -26,9 +26,11 @@ struct QueueSpec {
       overhead;
 };
 
-// All nine queues of the E9 table, in the paper's order (L5, L2, L3, L4,
-// L1, then the baselines). `max_threads` bounds how many handles the
-// Θ(T)-sized designs provision when run() constructs them.
+// The nine queues of the E9 table in the paper's order (L5, L2, L3, L4,
+// L1, then the baselines), plus the two lock-free L1 realizations —
+// segment(L1,ebr) and segment(L1,hp) — right after the mutex L1 row.
+// `max_threads` bounds how many handles the Θ(T)-sized designs (and the
+// SMR domains) provision when run() constructs them.
 std::vector<QueueSpec> all_queues(std::size_t max_threads = 64);
 
 }  // namespace workload

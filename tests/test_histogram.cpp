@@ -1,0 +1,135 @@
+// LatencyHistogram: bucket mapping, bounded relative error on the
+// reported percentiles, and exact composition under merge — the property
+// that justified replacing the raw per-thread sample vectors.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/histogram.hpp"
+
+namespace {
+
+using membq::workload::LatencyHistogram;
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below kSub land in unit buckets: percentiles are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) h.record(v);
+  EXPECT_EQ(h.count(), LatencyHistogram::kSub);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kSub - 1);
+  EXPECT_EQ(h.percentile(1.0), static_cast<double>(LatencyHistogram::kSub - 1));
+  EXPECT_EQ(h.percentile(0.5), 15.0);  // ceil(0.5 * 32) = 16th of 0..31
+}
+
+TEST(HistogramTest, IndexIsMonotoneAndInRange) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 1 << 20; v += 97) {
+    const std::size_t idx = LatencyHistogram::index_of(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    ASSERT_GE(idx, prev) << "bucket index must be monotone in the value";
+    prev = idx;
+  }
+  ASSERT_LT(LatencyHistogram::index_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets);
+}
+
+TEST(HistogramTest, BucketUpperBoundsItsValues) {
+  for (std::uint64_t v : {0ull, 31ull, 32ull, 33ull, 1000ull, 123456ull,
+                          87654321ull, (1ull << 40) + 12345ull}) {
+    const std::size_t idx = LatencyHistogram::index_of(v);
+    const std::uint64_t upper = LatencyHistogram::bucket_upper(idx);
+    EXPECT_GE(upper, v);
+    // Relative slack of the upper bound is bounded by the sub-bucket width.
+    EXPECT_LE(static_cast<double>(upper - v),
+              static_cast<double>(v) / LatencyHistogram::kSub + 1.0);
+  }
+}
+
+TEST(HistogramTest, PercentilesWithinRelativeErrorOfExact) {
+  LatencyHistogram h;
+  std::vector<std::uint64_t> values;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 100000; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    const std::uint64_t v = 20 + (rng % 1000000);  // 20ns .. 1ms, uniform
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const double exact = static_cast<double>(
+        values[static_cast<std::size_t>(q * (values.size() - 1))]);
+    const double reported = h.percentile(q);
+    EXPECT_NEAR(reported, exact, exact / LatencyHistogram::kSub + 1.0)
+        << "q = " << q;
+    EXPECT_GE(reported, exact * (1.0 - 1.0 / LatencyHistogram::kSub) - 1.0)
+        << "reported percentile must not undershoot its bucket, q = " << q;
+  }
+  EXPECT_EQ(h.percentile(1.0), static_cast<double>(values.back()));
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  std::uint64_t rng = 42;
+  for (int i = 0; i < 10000; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    h.record(rng % 100000);
+  }
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesRecordingIntoOne) {
+  LatencyHistogram a, b, combined;
+  std::uint64_t rng = 7;
+  for (int i = 0; i < 20000; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    const std::uint64_t v = rng % 500000;
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q))
+        << "merge must compose exactly, q = " << q;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram a, empty;
+  a.record(100);
+  a.record(200);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 200u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 100u);
+  EXPECT_EQ(empty.max(), 200u);
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
 #include "queues/llsc_queue.hpp"
+#include "queues/lockfree_segment_queue.hpp"
 #include "queues/segment_queue.hpp"
 
 namespace {
@@ -80,6 +81,21 @@ TEST(QueueBasicTest, SegmentQueueFifoFullEmpty) {
   check_fifo_full_empty(q, 8);
 }
 
+TEST(QueueBasicTest, LockFreeSegmentEbrFifoFullEmpty) {
+  membq::LockFreeSegmentQueue<membq::reclaim::EpochDomain> q(8, 3, 4);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, LockFreeSegmentHpFifoFullEmpty) {
+  membq::LockFreeSegmentQueue<membq::reclaim::HazardDomain> q(8, 3, 4);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, LockFreeSegmentNoReclaimFifoFullEmpty) {
+  membq::LockFreeSegmentQueue<membq::reclaim::NoReclaim> q(8, 3, 4);
+  check_fifo_full_empty(q, 8);
+}
+
 TEST(QueueBasicTest, VyukovQueueFifoFullEmpty) {
   membq::VyukovQueue q(8);
   check_fifo_full_empty(q, 8);
@@ -134,6 +150,16 @@ TEST(QueueBasicTest, WraparoundAllQueues) {
   }
   {
     membq::SegmentQueue q(4, 2);
+    check_wraparound(q, 4);
+  }
+  {
+    // Wraparound on the lock-free chain is pure segment churn: every
+    // round retires segments through the reclamation domain.
+    membq::LockFreeSegmentQueue<membq::reclaim::EpochDomain> q(4, 2, 4);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::LockFreeSegmentQueue<membq::reclaim::HazardDomain> q(4, 2, 4);
     check_wraparound(q, 4);
   }
   {

@@ -19,6 +19,7 @@
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
 #include "queues/llsc_queue.hpp"
+#include "queues/lockfree_segment_queue.hpp"
 #include "queues/segment_queue.hpp"
 
 namespace {
@@ -124,6 +125,21 @@ TEST(QueueConcurrentTest, SegmentQueueMpmc) {
   run_mpmc_audit(q, 2, 2, kPerProducer);
 }
 
+TEST(QueueConcurrentTest, LockFreeSegmentEbrMpmc) {
+  membq::LockFreeSegmentQueue<membq::reclaim::EpochDomain> q(kCap, 8, 8);
+  run_mpmc_audit(q, 2, 2, kPerProducer);
+}
+
+TEST(QueueConcurrentTest, LockFreeSegmentHpMpmc) {
+  membq::LockFreeSegmentQueue<membq::reclaim::HazardDomain> q(kCap, 8, 8);
+  run_mpmc_audit(q, 2, 2, kPerProducer);
+}
+
+TEST(QueueConcurrentTest, LockFreeSegmentNoReclaimMpmc) {
+  membq::LockFreeSegmentQueue<membq::reclaim::NoReclaim> q(kCap, 8, 8);
+  run_mpmc_audit(q, 2, 2, kPerProducer);
+}
+
 TEST(QueueConcurrentTest, VyukovQueueMpmc) {
   membq::VyukovQueue q(kCap);
   run_mpmc_audit(q, 2, 2, kPerProducer);
@@ -181,6 +197,16 @@ TEST(QueueConcurrentTest, TinyRingHighChurnAllPaperQueues) {
   }
   {
     membq::SegmentQueue q(2, 1, 2);
+    run_mpmc_audit(q, 2, 2, 1500);
+  }
+  {
+    // seg_size 1: every successful enqueue appends a segment and every
+    // drain retires one — maximum pressure on the reclamation domain.
+    membq::LockFreeSegmentQueue<membq::reclaim::EpochDomain> q(2, 1, 8);
+    run_mpmc_audit(q, 2, 2, 1500);
+  }
+  {
+    membq::LockFreeSegmentQueue<membq::reclaim::HazardDomain> q(2, 1, 8);
     run_mpmc_audit(q, 2, 2, 1500);
   }
 }
