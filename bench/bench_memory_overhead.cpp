@@ -36,6 +36,12 @@ constexpr Claim kClaims[] = {
     // reported in its own column and excluded from the inference.
     {"segment(L1,ebr)", "Theta(C/K+TK)"},
     {"segment(L1,hp)", "Theta(C/K+TK)"},
+    // Lock-free L5 keeps the Θ(T) class: announcement array, DCSS
+    // descriptor pool, and SMR per-thread state are all Θ(T); in-flight
+    // announcement records are ≤ T and the retired backlog has its own
+    // column.
+    {"optimal(L5,lf,ebr)", "Theta(T)"},
+    {"optimal(L5,lf,hp)", "Theta(T)"},
 };
 
 const char* claimed_for(const std::string& name) {

@@ -1,0 +1,390 @@
+// Step-machine mirror of the lock-free L5 announcement protocol
+// (core/lockfree_optimal_queue.hpp), built for attackability: shared
+// state is plain memory mutated only through SteppedOp state machines, so
+// ScheduledExecution controls every interleaving — announce, findOp scan,
+// install, view binding, readElem, cell CAS, vacate, counter advance —
+// and can park a helper or an owner at any of them.
+//
+// The template axis is the vacate policy, because the vacate is the one
+// transition whose expected side is a *value* (values may repeat — the
+// expected-side ABA a round-versioned ⊥ cannot guard, Theorem 3.12's
+// weapon aimed at helpers instead of ring rounds):
+//
+//   GuardedVacate     the real queue's DCSS: value → ⊥ only while the
+//                     head counter still equals the bound index. A poised
+//                     stale vacate granted rounds later finds head moved
+//                     and dies.
+//   UnguardedVacate   plain CAS on the value: the attackable control. A
+//                     parked helper's vacate revives once the same value
+//                     recurs in the cell, erases the new element, and
+//                     leaves a dead-round ⊥ the protocol can never
+//                     recognize — the element is lost and every later
+//                     dequeuer strands behind it.
+//
+// The machine follows the real protocol's structure: heap-free
+// announcement records (each op embeds its own — no SMR needed when the
+// scheduler owns all lifetimes), a packed {slot, seq} `cur_` word, one-
+// shot view binding, versioned bottoms on the enqueue side.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "adversary/scheduled_execution.hpp"
+
+namespace membq::adversary {
+
+// Cell encoding mirrors the real queue: bit 62 flags a bottom, low bits
+// carry the round (index / capacity). Bit 63 stays clear (no DCSS
+// descriptors here — the guarded vacate models the DCSS as one atomic
+// conditional step, which is exactly the atomicity DCSS provides).
+constexpr std::uint64_t kOptBotFlag = std::uint64_t{1} << 62;
+
+constexpr bool opt_is_bot(std::uint64_t w) noexcept {
+  return (w & kOptBotFlag) != 0;
+}
+
+struct GuardedVacate {
+  // One atomic step: cell value → next-round ⊥, iff head still equals the
+  // bound index (the DCSS second comparand).
+  static bool vacate(std::uint64_t& cell, std::uint64_t expected,
+                     std::uint64_t next_bot, std::uint64_t head_now,
+                     std::uint64_t bound_h) noexcept {
+    if (head_now != bound_h) return false;
+    if (cell != expected) return false;
+    cell = next_bot;
+    return true;
+  }
+};
+
+struct UnguardedVacate {
+  static bool vacate(std::uint64_t& cell, std::uint64_t expected,
+                     std::uint64_t next_bot, std::uint64_t /*head_now*/,
+                     std::uint64_t /*bound_h*/) noexcept {
+    if (cell != expected) return false;
+    cell = next_bot;
+    return true;
+  }
+};
+
+template <class VacatePolicy>
+class InstrumentedOptimal {
+ public:
+  InstrumentedOptimal(std::size_t capacity, std::size_t slots)
+      : cap_(capacity),
+        cells_(capacity, kOptBotFlag),  // ⊥ round 0
+        ann_(slots, nullptr) {}
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::uint64_t head() const noexcept { return head_; }
+  std::uint64_t tail() const noexcept { return tail_; }
+  std::uint64_t cell(std::size_t i) const noexcept { return cells_[i]; }
+
+  std::uint64_t bot_for(std::uint64_t index) const noexcept {
+    return kOptBotFlag | (index / cap_);
+  }
+
+  // The phases an operation can be parked at. Phases marked (*) touch
+  // shared state when stepped; the rest only read or book-keep.
+  enum class Phase {
+    kAnnounce,    // (*) publish the record, take a ticket
+    kReadCur,     // read the installed-op word
+    kScan,        // findOp: examine one announcement slot
+    kInstall,     // (*) CAS cur_ from kNone to the oldest pending op
+    kLookup,      // resolve the installed word to a record
+    kBindTail,    // (*) one-shot bind of the record's tail view
+    kBindHead,    // (*) one-shot bind of the record's head view
+    kCheckFull,   // enqueue: full/space verdict from the bound view
+    kCellRead,    // enqueue: read the target cell
+    kCellCas,     // (*) enqueue: CAS ⊥_round → value
+    kAdvTail,     // (*) advance tail past the bound index
+    kCheckEmpty,  // dequeue: empty verdict from the bound view
+    kElemRead,    // dequeue: readElem — read the cell at the bound head
+    kBindRes,     // (*) dequeue: one-shot bind of the element read
+    kVacate,      // (*) dequeue: value → ⊥, per the VacatePolicy
+    kAdvHead,     // (*) advance head past the bound index
+    kDecide,      // (*) one-shot state transition (done / failed)
+    kUninstall,   // (*) CAS cur_ back to kNone
+    kCheckSelf,   // has our own record completed?
+    kUnannounce,  // (*) clear our announcement slot, read the outcome
+    kDone,
+  };
+
+  class Op : public SteppedOp {
+   public:
+    Op(InstrumentedOptimal& q, std::size_t slot, OpKind kind,
+       std::uint64_t v = 0) noexcept
+        : q_(q), slot_(slot), kind_(kind) {
+      rec_.is_enqueue = kind == OpKind::kEnqueue;
+      rec_.arg = v;
+    }
+
+    void step() override;
+    bool complete() const override { return phase_ == Phase::kDone; }
+    OpKind kind() const override { return kind_; }
+    std::uint64_t value() const override { return value_; }
+    bool ok() const override { return ok_; }
+
+    Phase phase() const noexcept { return phase_; }
+    // True when the record the apply phases are working on is another
+    // operation's announcement — the helper role.
+    bool helping_other() const noexcept {
+      return target_ != nullptr && target_ != &rec_;
+    }
+    // Vacate instrumentation: how often the step was granted, and whether
+    // the *first* granted attempt mutated the cell. For a parked victim
+    // that first attempt is the poised, stale vacate.
+    unsigned vacate_attempts() const noexcept { return vacate_attempts_; }
+    bool first_vacate_fired() const noexcept { return first_vacate_fired_; }
+    // Same for the enqueue-side cell CAS.
+    unsigned cell_cas_attempts() const noexcept { return cell_cas_attempts_; }
+    bool first_cell_cas_fired() const noexcept {
+      return first_cell_cas_fired_;
+    }
+
+   private:
+    struct Rec {
+      std::uint64_t seq = 0;
+      bool is_enqueue = false;
+      std::uint64_t arg = 0;
+      std::uint64_t state = kPending;
+      std::uint64_t bt = kUnbound;
+      std::uint64_t bh = kUnbound;
+      std::uint64_t res = kNoResult;
+    };
+
+    friend class InstrumentedOptimal;
+
+    void respond() noexcept {
+      ok_ = rec_.state == kDoneState;
+      value_ = rec_.is_enqueue ? rec_.arg : rec_.res;
+      phase_ = Phase::kDone;
+    }
+
+    InstrumentedOptimal& q_;
+    const std::size_t slot_;
+    const OpKind kind_;
+    Rec rec_;
+
+    Phase phase_ = Phase::kAnnounce;
+    std::uint64_t w_ = kNone;      // installed word read at kReadCur
+    Rec* target_ = nullptr;        // record the apply phases work on
+    std::size_t scan_i_ = 0;       // findOp cursor
+    std::uint64_t best_seq_ = kUnbound;
+    std::size_t best_slot_ = 0;
+    std::uint64_t elem_read_ = kNoResult;
+    unsigned vacate_attempts_ = 0;
+    bool first_vacate_fired_ = false;
+    unsigned cell_cas_attempts_ = 0;
+    bool first_cell_cas_fired_ = false;
+    bool ok_ = false;
+    std::uint64_t value_ = 0;
+  };
+
+ private:
+  friend class Op;
+
+  using Rec = typename Op::Rec;
+
+  static constexpr std::uint64_t kPending = 0;
+  static constexpr std::uint64_t kDoneState = 1;
+  static constexpr std::uint64_t kFailedState = 2;
+  static constexpr std::uint64_t kUnbound = ~std::uint64_t{0};
+  static constexpr std::uint64_t kNoResult = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << 48) - 1;
+
+  static std::uint64_t pack(std::size_t slot, std::uint64_t seq) noexcept {
+    return (static_cast<std::uint64_t>(slot) << 48) | (seq & kSeqMask);
+  }
+
+  const std::size_t cap_;
+  std::vector<std::uint64_t> cells_;
+  std::vector<Rec*> ann_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::uint64_t ticket_ = 0;
+  std::uint64_t cur_ = kNone;
+};
+
+template <class VacatePolicy>
+void InstrumentedOptimal<VacatePolicy>::Op::step() {
+  InstrumentedOptimal& q = q_;
+  switch (phase_) {
+    case Phase::kAnnounce:
+      rec_.seq = q.ticket_++;
+      assert(q.ann_[slot_] == nullptr && "announcement slot already in use");
+      q.ann_[slot_] = &rec_;
+      phase_ = Phase::kReadCur;
+      return;
+
+    case Phase::kReadCur:
+      w_ = q.cur_;
+      if (w_ == kNone) {
+        scan_i_ = 0;
+        best_seq_ = kUnbound;
+        phase_ = Phase::kScan;
+      } else {
+        phase_ = Phase::kLookup;
+      }
+      return;
+
+    case Phase::kScan: {  // findOp: one announcement slot per step
+      if (scan_i_ < q.ann_.size()) {
+        Rec* r = q.ann_[scan_i_];
+        if (r != nullptr && r->state == kPending && r->seq < best_seq_) {
+          best_seq_ = r->seq;
+          best_slot_ = scan_i_;
+        }
+        ++scan_i_;
+        return;
+      }
+      phase_ = best_seq_ == kUnbound ? Phase::kCheckSelf : Phase::kInstall;
+      return;
+    }
+
+    case Phase::kInstall:
+      if (q.cur_ == kNone) q.cur_ = pack(best_slot_, best_seq_);
+      phase_ = Phase::kReadCur;
+      return;
+
+    case Phase::kLookup: {
+      const std::size_t slot = static_cast<std::size_t>(w_ >> 48);
+      Rec* r = slot < q.ann_.size() ? q.ann_[slot] : nullptr;
+      if (r != nullptr && (r->seq & kSeqMask) == (w_ & kSeqMask) &&
+          r->state == kPending) {
+        target_ = r;
+        phase_ = Phase::kBindTail;
+      } else {
+        target_ = nullptr;
+        phase_ = Phase::kUninstall;
+      }
+      return;
+    }
+
+    case Phase::kBindTail:
+      if (target_->bt == kUnbound) target_->bt = q.tail_;
+      phase_ = Phase::kBindHead;
+      return;
+
+    case Phase::kBindHead:
+      if (target_->bh == kUnbound) target_->bh = q.head_;
+      phase_ = target_->is_enqueue ? Phase::kCheckFull : Phase::kCheckEmpty;
+      return;
+
+    case Phase::kCheckFull:
+      phase_ = (target_->bt - target_->bh >= q.cap_) ? Phase::kDecide
+                                                     : Phase::kCellRead;
+      return;
+
+    case Phase::kCellRead:
+      elem_read_ = q.cells_[target_->bt % q.cap_];
+      // Any word other than our round's ⊥ means a helper's write already
+      // landed (the real queue relies on versioned bottoms for exactly
+      // this inference).
+      phase_ = elem_read_ == q.bot_for(target_->bt) ? Phase::kCellCas
+                                                    : Phase::kAdvTail;
+      return;
+
+    case Phase::kCellCas: {
+      ++cell_cas_attempts_;
+      std::uint64_t& cell = q.cells_[target_->bt % q.cap_];
+      if (cell == q.bot_for(target_->bt)) {
+        cell = target_->arg;
+        if (cell_cas_attempts_ == 1) first_cell_cas_fired_ = true;
+        phase_ = Phase::kAdvTail;
+      } else {
+        phase_ = Phase::kCellRead;  // someone's write landed; re-examine
+      }
+      return;
+    }
+
+    case Phase::kAdvTail:
+      if (q.tail_ == target_->bt) q.tail_ = target_->bt + 1;
+      phase_ = Phase::kDecide;
+      return;
+
+    case Phase::kCheckEmpty:
+      phase_ = (target_->bt == target_->bh) ? Phase::kDecide
+                                            : Phase::kElemRead;
+      return;
+
+    case Phase::kElemRead:
+      elem_read_ = q.cells_[target_->bh % q.cap_];
+      phase_ = Phase::kBindRes;
+      return;
+
+    case Phase::kBindRes:
+      if (target_->res == kNoResult) {
+        if (opt_is_bot(elem_read_)) {
+          // The cell shows a bottom but the result is unbound: in a
+          // correct execution this cannot happen (the vacate CASes *from*
+          // the bound result). It is reachable only after an unguarded
+          // stale vacate corrupted the cell — the dequeuer strands here,
+          // exactly like the real protocol's re-enter loop.
+          phase_ = Phase::kElemRead;
+          return;
+        }
+        target_->res = elem_read_;
+      }
+      phase_ = Phase::kVacate;
+      return;
+
+    case Phase::kVacate: {
+      ++vacate_attempts_;
+      const bool fired = VacatePolicy::vacate(
+          q.cells_[target_->bh % q.cap_], target_->res,
+          q.bot_for(target_->bh + q.cap_), q.head_, target_->bh);
+      if (fired && vacate_attempts_ == 1) first_vacate_fired_ = true;
+      phase_ = Phase::kAdvHead;
+      return;
+    }
+
+    case Phase::kAdvHead:
+      if (q.head_ == target_->bh) q.head_ = target_->bh + 1;
+      phase_ = Phase::kDecide;
+      return;
+
+    case Phase::kDecide: {
+      if (target_->state == kPending) {
+        const bool failed =
+            target_->is_enqueue
+                ? target_->bt - target_->bh >= q.cap_
+                : target_->bt == target_->bh;
+        target_->state = failed ? kFailedState : kDoneState;
+      }
+      phase_ = Phase::kUninstall;
+      return;
+    }
+
+    case Phase::kUninstall:
+      // Never uninstall a still-pending record (mirrors the real queue's
+      // installed-until-decided invariant).
+      if (target_ == nullptr || target_->state != kPending) {
+        if (q.cur_ == w_) q.cur_ = kNone;
+      }
+      target_ = nullptr;
+      phase_ = Phase::kCheckSelf;
+      return;
+
+    case Phase::kCheckSelf:
+      phase_ = rec_.state == kPending ? Phase::kReadCur : Phase::kUnannounce;
+      return;
+
+    case Phase::kUnannounce:
+      assert(q.ann_[slot_] == &rec_);
+      q.ann_[slot_] = nullptr;
+      respond();
+      return;
+
+    case Phase::kDone:
+      return;
+  }
+}
+
+using GuardedOptimal = InstrumentedOptimal<GuardedVacate>;
+using UnguardedOptimal = InstrumentedOptimal<UnguardedVacate>;
+
+}  // namespace membq::adversary

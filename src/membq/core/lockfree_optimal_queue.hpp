@@ -1,0 +1,406 @@
+// L5 (lock-free) — the paper's announcement-array protocol, realized
+// without the combiner latch: readElem/findOp helping instead of a serial
+// combining loop. Same Θ(T) memory class, same Θ(T) operation cost, but
+// every path is lock-free and a stalled thread can never park the queue.
+//
+// Structure:
+//   * `cells_` is the bare C-word ring. An empty cell holds a round-
+//     versioned bottom ⊥_r (bit 62 set, r = index/C in the low bits), the
+//     L2 trick: an expected-⊥ CAS can never fire a round late, because a
+//     given ⊥_r appears in a given cell exactly once, ever.
+//   * `ann_` is the Θ(T) announcement array. A thread publishes its
+//     operation as a heap OpRec (kind, argument, then the bound view and
+//     the result as the helpers fill them in) and spins helping until the
+//     record completes. Records are unlinked from `ann_` before being
+//     retired through the PR-3 ReclaimDomain, so hazard-pointer validation
+//     on `ann_[i]` is sound and a helper can never touch freed memory.
+//   * `cur_` names the operation being applied — not by pointer but as a
+//     packed {slot, seq} word (the DCSS-marker idiom), so the one shared
+//     root that *would* transiently name completed records holds plain
+//     bits instead of a pointer and the SMR unlink-before-retire contract
+//     is never bent.
+//
+// findOp: when `cur_` is empty, scan all T announcement slots for the
+// pending record with the smallest ticket and install it — the Θ(T) scan
+// that is the paper's time/memory trade-off (bench_optimal_scaling
+// measures it). Helping the *oldest* op first means an announced operation
+// completes after at most T installations: the protocol is not just
+// lock-free but starvation-free as long as any thread takes steps.
+//
+// readElem: helpers of an installed record first bind its view (tail,
+// head) with one-shot CASes, so every helper — including one that stalled
+// and woke up rounds later — computes the same full/empty verdict and
+// targets the same cell. A dequeue binds the element it read into the
+// record (one-shot CAS from a sentinel) before anything mutates the cell;
+// a stale read can never publish, because the cell is provably stable
+// until the result is bound.
+//
+// Exactly-once application under stale helpers:
+//   * enqueue cell write: CAS ⊥_r → v. Versioned bottoms never recur, so
+//     a helper that slept through any number of rounds misses cleanly.
+//   * dequeue vacate: the expected side is a *value*, and values may
+//     repeat — the one transition a version cannot protect (this is
+//     exactly the staleness Theorem 3.12 weaponizes). The vacate is
+//     therefore a DCSS whose second comparand is the head counter: once
+//     head moves past the bound index, a poised stale vacate is dead, the
+//     same shield the L4 queue uses for every slot write.
+//   * counter advances are CAS(bound → bound+1) on monotonic counters;
+//     state/result transitions are one-shot CASes on the record.
+//
+// Cost of the shield: the DCSS descriptor pool is Θ(T), which the design
+// already pays for the announcement array — the memory class is unchanged.
+// Values must keep bits 62 (⊥ flag) and 63 (DCSS marker) clear, the
+// domain-wide contract of every DCSS-managed word in membq.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/no_reclaim.hpp"
+#include "sync/dcss.hpp"
+
+namespace membq {
+
+// Registry/bench display names per backend; the primary template is left
+// undefined so an unnamed backend fails at compile time.
+template <class Domain>
+struct LockFreeOptimalQueueName;
+
+template <>
+struct LockFreeOptimalQueueName<reclaim::EpochDomain> {
+  static constexpr char value[] = "optimal(L5,lf,ebr)";
+};
+template <>
+struct LockFreeOptimalQueueName<reclaim::HazardDomain> {
+  static constexpr char value[] = "optimal(L5,lf,hp)";
+};
+template <>
+struct LockFreeOptimalQueueName<reclaim::NoReclaim> {
+  static constexpr char value[] = "optimal(L5,lf,none)";
+};
+
+template <class Domain = reclaim::EpochDomain>
+class LockFreeOptimalQueue {
+ public:
+  static constexpr const char* kName =
+      LockFreeOptimalQueueName<Domain>::value;
+  // Empty-cell encoding: bit 62 flags a bottom, the low bits carry the
+  // round (index / capacity). Bit 63 stays reserved for DCSS markers.
+  static constexpr std::uint64_t kBotFlag = std::uint64_t{1} << 62;
+
+  LockFreeOptimalQueue(std::size_t capacity, std::size_t max_threads)
+      : cap_(capacity),
+        max_threads_(max_threads == 0 ? 1 : max_threads),
+        cells_(new std::atomic<std::uint64_t>[capacity]),
+        ann_(new std::atomic<OpRec*>[max_threads_]),
+        slot_used_(new std::atomic<bool>[max_threads_]),
+        dcss_(max_threads_),
+        domain_(max_threads_) {
+    assert(capacity > 0);
+    for (std::size_t i = 0; i < cap_; ++i) {
+      cells_[i].store(kBotFlag, std::memory_order_relaxed);  // ⊥ round 0
+    }
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      ann_[i].store(nullptr, std::memory_order_relaxed);
+      slot_used_[i].store(false, std::memory_order_relaxed);
+    }
+  }
+
+  // Contract: no live handles and no concurrent access. Every operation
+  // retires its own record before returning, so `ann_` is all-null here
+  // and the domain destructor drains whatever backlog is left.
+  ~LockFreeOptimalQueue() = default;
+
+  LockFreeOptimalQueue(const LockFreeOptimalQueue&) = delete;
+  LockFreeOptimalQueue& operator=(const LockFreeOptimalQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::size_t max_threads() const noexcept { return max_threads_; }
+
+  const Domain& domain() const noexcept { return domain_; }
+
+  // Retired-but-unreclaimed announcement records: live heap the overhead
+  // accounting reports separately, never as algorithmic overhead.
+  std::size_t retired_bytes() const noexcept {
+    return domain_.retired_bytes();
+  }
+
+  class Handle {
+   public:
+    // Declaration (and therefore construction) order matters: the domain
+    // and DCSS handles are acquired *before* the announcement slot, so a
+    // pool-exhausted throw from either unwinds without leaking a slot,
+    // and the destructor releases the announcement slot first — a churn
+    // successor can never hold an announcement slot while this handle
+    // still occupies its Θ(T) domain slots.
+    explicit Handle(LockFreeOptimalQueue& q)
+        : q_(q), h_(q.domain_), th_(q.dcss_), slot_(q.acquire_slot()) {}
+
+    ~Handle() { q_.release_slot(slot_); }
+
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    bool try_enqueue(std::uint64_t v) {
+      assert(v < kBotFlag && "bits 62/63 are reserved for ⊥ and markers");
+      std::uint64_t out;
+      return q_.run_op(*this, /*is_enqueue=*/true, v, out);
+    }
+
+    bool try_dequeue(std::uint64_t& out) {
+      return q_.run_op(*this, /*is_enqueue=*/false, 0, out);
+    }
+
+    // Drain this thread's reclamation backlog (tests, shutdown).
+    void flush_reclamation() { h_.flush(); }
+
+   private:
+    friend class LockFreeOptimalQueue;
+
+    LockFreeOptimalQueue& q_;
+    typename Domain::ThreadHandle h_;
+    DcssDomain::ThreadHandle th_;
+    std::size_t slot_;
+  };
+
+ private:
+  friend class Handle;
+
+  // Announcement record states. Every field beyond seq/kind/arg starts at
+  // a sentinel and moves exactly once, by CAS, so any number of helpers —
+  // however stale — agree on one execution.
+  static constexpr std::uint64_t kPending = 0;
+  static constexpr std::uint64_t kDone = 1;
+  static constexpr std::uint64_t kFailed = 2;
+  static constexpr std::uint64_t kUnbound = ~std::uint64_t{0};
+  static constexpr std::uint64_t kNoResult = std::uint64_t{1} << 63;
+
+  // cur_ encoding, mirroring the DCSS marker layout: slot in the top 16
+  // bits, announcement ticket (mod 2^48) below.
+  static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  static constexpr std::uint64_t kSeqMask =
+      (std::uint64_t{1} << 48) - 1;
+
+  struct alignas(64) OpRec {
+    std::uint64_t seq = 0;   // announcement ticket (immutable)
+    bool is_enqueue = false; // immutable
+    std::uint64_t arg = 0;   // enqueue argument (immutable)
+    std::atomic<std::uint64_t> state{kPending};
+    std::atomic<std::uint64_t> bt{kUnbound};    // bound tail view
+    std::atomic<std::uint64_t> bh{kUnbound};    // bound head view
+    std::atomic<std::uint64_t> res{kNoResult};  // dequeue: element read
+
+    static void destroy(void* p) noexcept { delete static_cast<OpRec*>(p); }
+  };
+
+  static std::uint64_t pack(std::size_t slot, std::uint64_t seq) noexcept {
+    return (static_cast<std::uint64_t>(slot) << 48) | (seq & kSeqMask);
+  }
+
+  std::uint64_t bot_for(std::uint64_t index) const noexcept {
+    return kBotFlag | (index / cap_);
+  }
+
+  static bool is_bot(std::uint64_t w) noexcept {
+    return (w & kBotFlag) != 0;
+  }
+
+  static void advance(std::atomic<std::uint64_t>& counter,
+                      std::uint64_t seen) noexcept {
+    std::uint64_t expected = seen;
+    counter.compare_exchange_strong(expected, seen + 1,
+                                    std::memory_order_acq_rel);
+  }
+
+  // Bind a one-shot view field from a live counter; all helpers then read
+  // the winning value. Counters are quiescent while a record is installed
+  // (only the installed record's helpers move them), so every candidate
+  // value is the same — the CAS exists to shut out helpers that stall
+  // *before* reading the counter and wake up rounds later.
+  static std::uint64_t bind(std::atomic<std::uint64_t>& field,
+                            const std::atomic<std::uint64_t>& counter) {
+    std::uint64_t v = field.load(std::memory_order_acquire);
+    if (v == kUnbound) {
+      std::uint64_t fresh = counter.load(std::memory_order_seq_cst);
+      field.compare_exchange_strong(v, fresh, std::memory_order_acq_rel);
+      v = field.load(std::memory_order_acquire);
+    }
+    return v;
+  }
+
+  bool run_op(Handle& hd, bool is_enqueue, std::uint64_t arg,
+              std::uint64_t& out) {
+    typename Domain::ThreadHandle::Guard g(hd.h_);
+    OpRec* rec = new OpRec();
+    rec->seq = ticket_.fetch_add(1, std::memory_order_acq_rel);
+    rec->is_enqueue = is_enqueue;
+    rec->arg = arg;
+    ann_[hd.slot_].store(rec, std::memory_order_seq_cst);
+    while (rec->state.load(std::memory_order_acquire) == kPending) {
+      help_someone(hd);
+    }
+    // Unlink from the announcement root *before* retiring, the SMR
+    // contract; read the outcome before the record leaves our hands.
+    ann_[hd.slot_].store(nullptr, std::memory_order_seq_cst);
+    const std::uint64_t st = rec->state.load(std::memory_order_acquire);
+    const std::uint64_t res = rec->res.load(std::memory_order_acquire);
+    hd.h_.retire(rec, sizeof(OpRec), &OpRec::destroy);
+    if (st == kFailed) return false;
+    if (!is_enqueue) out = res;
+    return true;
+  }
+
+  // One helping round: finish the installed operation if there is one,
+  // else findOp — scan the T announcement slots for the oldest pending
+  // record and install it. Either way the system makes progress.
+  void help_someone(Handle& hd) {
+    const std::uint64_t w = cur_.load(std::memory_order_seq_cst);
+    if (w == kNone) {
+      find_and_install(hd);
+      return;
+    }
+    const std::size_t slot = static_cast<std::size_t>(w >> 48);
+    OpRec* rec = slot < max_threads_ ? hd.h_.protect(0, ann_[slot]) : nullptr;
+    if (rec != nullptr && (rec->seq & kSeqMask) == (w & kSeqMask)) {
+      if (rec->state.load(std::memory_order_acquire) == kPending) {
+        apply(hd, rec);
+      }
+      // Never uninstall a record that is still pending: an installed
+      // record stays installed until decided, which is what keeps the
+      // head/tail counters quiescent for the view-binding CASes.
+      if (rec->state.load(std::memory_order_acquire) == kPending) return;
+    }
+    // The installed record is complete (or long gone — its owner already
+    // swapped the slot); clear the way for the next findOp. The seq in
+    // the word makes this CAS specific to that one operation.
+    std::uint64_t expected = w;
+    cur_.compare_exchange_strong(expected, kNone,
+                                 std::memory_order_acq_rel);
+  }
+
+  void find_and_install(Handle& hd) {
+    std::uint64_t best_seq = kUnbound;
+    std::size_t best_slot = 0;
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      OpRec* r = hd.h_.protect(1, ann_[i]);
+      if (r == nullptr) continue;
+      if (r->state.load(std::memory_order_acquire) != kPending) continue;
+      if (r->seq < best_seq) {
+        best_seq = r->seq;
+        best_slot = i;
+      }
+    }
+    if (best_seq == kUnbound) return;  // our own op completed meanwhile
+    // Installing only {slot, seq} bits: if the record completes (or is
+    // even retired) before this CAS lands, helpers detect the stale
+    // installation by the seq/state check and uninstall it — no pointer
+    // to freed memory ever becomes reachable.
+    std::uint64_t expected = kNone;
+    cur_.compare_exchange_strong(expected, pack(best_slot, best_seq),
+                                 std::memory_order_acq_rel);
+  }
+
+  // Apply an installed record to the ring. Idempotent under any number of
+  // concurrent or stale helpers; returns with rec->state decided.
+  void apply(Handle& hd, OpRec* rec) {
+    const std::uint64_t t = bind(rec->bt, tail_);
+    const std::uint64_t h = bind(rec->bh, head_);
+    if (rec->is_enqueue) {
+      if (t - h >= cap_) {
+        std::uint64_t expected = kPending;
+        rec->state.compare_exchange_strong(expected, kFailed,
+                                           std::memory_order_acq_rel);
+        return;
+      }
+      // Cell write: CAS ⊥_round(t) → arg. The versioned bottom makes the
+      // CAS one-shot across all helpers and all rounds; the read helps
+      // any DCSS marker (a poised stale vacate) out of the way first.
+      std::atomic<std::uint64_t>& cell = cells_[t % cap_];
+      const std::uint64_t expected_bot = bot_for(t);
+      for (;;) {
+        const std::uint64_t x = dcss_.read(&cell);
+        if (x != expected_bot) break;  // a helper's write already landed
+        std::uint64_t e = expected_bot;
+        if (cell.compare_exchange_strong(e, rec->arg,
+                                         std::memory_order_acq_rel)) {
+          break;
+        }
+      }
+      advance(tail_, t);
+      std::uint64_t expected = kPending;
+      rec->state.compare_exchange_strong(expected, kDone,
+                                         std::memory_order_acq_rel);
+    } else {
+      if (t == h) {
+        std::uint64_t expected = kPending;
+        rec->state.compare_exchange_strong(expected, kFailed,
+                                           std::memory_order_acq_rel);
+        return;
+      }
+      // readElem: the cell is stable until the result is bound (the
+      // vacate below CASes *from* the bound result, so it cannot precede
+      // the binding), hence the value read here is the element — unless
+      // we are a late helper finding the cell already vacated, in which
+      // case the result is bound and the one-shot CAS misses cleanly.
+      std::atomic<std::uint64_t>& cell = cells_[h % cap_];
+      std::uint64_t res = rec->res.load(std::memory_order_acquire);
+      if (res == kNoResult) {
+        const std::uint64_t x = dcss_.read(&cell);
+        if (!is_bot(x)) {
+          rec->res.compare_exchange_strong(res, x,
+                                           std::memory_order_acq_rel);
+        }
+        res = rec->res.load(std::memory_order_acquire);
+        if (res == kNoResult) return;  // raced with completion; re-enter
+      }
+      // Vacate: value → ⊥_{round+1}, guarded by the head counter. The
+      // expected side is a value and values may repeat, so an unguarded
+      // CAS from a stale helper could fire rounds later (Theorem 3.12's
+      // weapon); DCSS with head as the second comparand pins the window.
+      hd.th_.dcss(&cell, res, bot_for(h + cap_), &head_, h);
+      advance(head_, h);
+      std::uint64_t expected = kPending;
+      rec->state.compare_exchange_strong(expected, kDone,
+                                         std::memory_order_acq_rel);
+    }
+  }
+
+  std::size_t acquire_slot() {
+    for (std::size_t i = 0; i < max_threads_; ++i) {
+      bool expected = false;
+      if (slot_used_[i].compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    throw std::runtime_error(
+        "LockFreeOptimalQueue: more live Handles than max_threads");
+  }
+
+  void release_slot(std::size_t slot) noexcept {
+    slot_used_[slot].store(false, std::memory_order_release);
+  }
+
+  const std::size_t cap_;
+  const std::size_t max_threads_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;  // the C words
+  std::unique_ptr<std::atomic<OpRec*>[]> ann_;  // Θ(T) announcement array
+  std::unique_ptr<std::atomic<bool>[]> slot_used_;
+  DcssDomain dcss_;  // Θ(T) descriptor pool guarding the vacate
+  Domain domain_;    // Θ(T) reclamation state for announcement records
+  alignas(64) std::atomic<std::uint64_t> ticket_{0};
+  alignas(64) std::atomic<std::uint64_t> cur_{kNone};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+using EbrOptimalQueue = LockFreeOptimalQueue<reclaim::EpochDomain>;
+using HpOptimalQueue = LockFreeOptimalQueue<reclaim::HazardDomain>;
+
+}  // namespace membq

@@ -56,13 +56,14 @@ class OptimalQueue {
     Handle& operator=(const Handle&) = delete;
 
     bool try_enqueue(std::uint64_t v) noexcept {
-      return q_.announce(slot_, kEnqueue, v) == kDone;
+      std::uint64_t result;
+      return q_.announce(slot_, kEnqueue, v, result) == kDone;
     }
 
     bool try_dequeue(std::uint64_t& out) noexcept {
-      Slot& s = q_.slots_[slot_];
-      if (q_.announce(slot_, kDequeue, 0) != kDone) return false;
-      out = s.arg.load(std::memory_order_relaxed);
+      std::uint64_t result;
+      if (q_.announce(slot_, kDequeue, 0, result) != kDone) return false;
+      out = result;
       return true;
     }
 
@@ -89,13 +90,21 @@ class OptimalQueue {
     std::atomic<std::uint64_t> arg{0};
   };
 
-  std::uint64_t announce(std::size_t slot, Op op, std::uint64_t arg) noexcept {
+  // Publishes the request and spins until a combiner serves it. `result`
+  // receives the dequeued element (kDone dequeues). The argument word is
+  // read back *before* the slot is reset to kIdle: once kIdle is visible
+  // the slot can be released and recycled by another handle, whose first
+  // announce overwrites `arg` — a caller that read the result only after
+  // announce() returned could observe the recycler's argument instead.
+  std::uint64_t announce(std::size_t slot, Op op, std::uint64_t arg,
+                         std::uint64_t& result) noexcept {
     Slot& s = slots_[slot];
     s.arg.store(arg, std::memory_order_relaxed);
     s.op.store(op, std::memory_order_release);
     for (;;) {
       const std::uint64_t state = s.op.load(std::memory_order_acquire);
       if (state == kDone || state == kFailed) {
+        result = s.arg.load(std::memory_order_relaxed);
         s.op.store(kIdle, std::memory_order_relaxed);
         return state;
       }

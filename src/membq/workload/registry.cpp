@@ -9,6 +9,7 @@
 #include "baselines/scq_ring.hpp"
 #include "baselines/vyukov_queue.hpp"
 #include "common/counting_alloc.hpp"
+#include "core/lockfree_optimal_queue.hpp"
 #include "core/optimal_queue.hpp"
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
@@ -115,12 +116,31 @@ std::size_t no_aux(std::size_t, std::size_t) { return 0; }
 std::vector<QueueSpec> all_queues(std::size_t max_threads) {
   const std::size_t mt = std::max<std::size_t>(max_threads, 2);
   std::vector<QueueSpec> queues;
-  queues.reserve(11);
+  queues.reserve(13);
 
   queues.push_back(make_spec<OptimalQueue>(
       OptimalQueue::kName, mt,
       [](std::size_t c, std::size_t t) {
         return std::make_unique<OptimalQueue>(c, t);
+      },
+      no_aux));
+
+  // Lock-free L5 realizations (readElem/findOp announcement protocol),
+  // one row per reclamation backend; the combining realization above
+  // stays as the baseline row.
+  queues.push_back(make_spec<LockFreeOptimalQueue<reclaim::EpochDomain>>(
+      LockFreeOptimalQueue<reclaim::EpochDomain>::kName, mt,
+      [](std::size_t c, std::size_t t) {
+        return std::make_unique<LockFreeOptimalQueue<reclaim::EpochDomain>>(
+            c, t);
+      },
+      no_aux));
+
+  queues.push_back(make_spec<LockFreeOptimalQueue<reclaim::HazardDomain>>(
+      LockFreeOptimalQueue<reclaim::HazardDomain>::kName, mt,
+      [](std::size_t c, std::size_t t) {
+        return std::make_unique<LockFreeOptimalQueue<reclaim::HazardDomain>>(
+            c, t);
       },
       no_aux));
 

@@ -1,0 +1,176 @@
+// Shared model-based test harness for every queue in the registry.
+//
+// Two attack angles, replacing the per-suite ad-hoc audits:
+//
+//   * check_against_model — single-handle randomized mixed op sequences
+//     replayed against a std::deque reference model, exact step-by-step:
+//     every try_enqueue/try_dequeue outcome (accepted/refused, value
+//     returned) must match what the sequential bounded-queue spec says.
+//     Seeded, so a failure reproduces.
+//
+//   * record_history / expect_linearizable_histories — real-thread mixed
+//     runs recorded as Herlihy–Wing histories (invocation/response stamps
+//     from a shared atomic clock) and judged by the Wing–Gong bounded-
+//     queue checker. Small per-run op counts keep the DFS exact (the
+//     checker's linearized-set bitmask caps a history at 63 ops).
+//
+// Value discipline: `distinct` values (thread tag + counter) satisfy
+// every queue's contract, including L2's distinct-values assumption.
+// Queues without that assumption should ALSO be run with `repeating`
+// values from a tiny alphabet — repeated values in the same cell are
+// exactly the expected-side ABA that round-versioned bottoms cannot
+// guard (the reason the lock-free L5 vacate needs its DCSS shield).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/history.hpp"
+#include "adversary/linearizability.hpp"
+#include "common/barrier.hpp"
+
+namespace membq {
+namespace model {
+
+enum class Values {
+  kDistinct,   // every enqueued value unique (L2's contract)
+  kRepeating,  // tiny alphabet; stresses expected-side ABA on cells
+};
+
+// xorshift64: the same tiny deterministic generator the other suites use.
+inline std::uint64_t next_rng(std::uint64_t& s) noexcept {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+// Single-handle exactness: `ops` random operations (enqueue-biased, so
+// full and empty are both visited) checked against a std::deque model.
+// Values stay below 1<<32 with bits 62/63 clear — inside every queue's
+// contract.
+template <class Q>
+void check_against_model(Q& q, std::size_t capacity, std::uint64_t seed,
+                         std::size_t ops, Values values = Values::kDistinct) {
+  typename Q::Handle h(q);
+  std::deque<std::uint64_t> model;
+  std::uint64_t rng = seed != 0 ? seed : 1;
+  std::uint64_t next_value = 1;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const bool do_enqueue = (next_rng(rng) % 100) < 55;
+    if (do_enqueue) {
+      const std::uint64_t v = values == Values::kDistinct
+                                  ? next_value++
+                                  : 1 + (next_rng(rng) % 3);
+      const bool ok = h.try_enqueue(v);
+      const bool model_ok = model.size() < capacity;
+      ASSERT_EQ(ok, model_ok)
+          << "op " << i << ": enqueue(" << v << ") accepted=" << ok
+          << " but model holds " << model.size() << "/" << capacity
+          << " (seed " << seed << ")";
+      if (model_ok) model.push_back(v);
+    } else {
+      std::uint64_t out = 0;
+      const bool ok = h.try_dequeue(out);
+      const bool model_ok = !model.empty();
+      ASSERT_EQ(ok, model_ok)
+          << "op " << i << ": dequeue ok=" << ok << " but model holds "
+          << model.size() << " (seed " << seed << ")";
+      if (model_ok) {
+        ASSERT_EQ(out, model.front())
+            << "op " << i << ": dequeue returned " << out << ", model front "
+            << model.front() << " (seed " << seed << ")";
+        model.pop_front();
+      }
+    }
+  }
+  // Drain and check the leftover prefix, so a value smuggled past the
+  // model inside the queue cannot hide behind the random walk.
+  std::uint64_t out = 0;
+  while (!model.empty()) {
+    ASSERT_TRUE(h.try_dequeue(out)) << "queue lost " << model.size()
+                                    << " modeled values (seed " << seed
+                                    << ")";
+    ASSERT_EQ(out, model.front()) << "(seed " << seed << ")";
+    model.pop_front();
+  }
+  ASSERT_FALSE(h.try_dequeue(out))
+      << "queue holds unmodeled value " << out << " (seed " << seed << ")";
+}
+
+// Real-thread mixed run recorded as a Herlihy–Wing history. A shared
+// atomic clock stamps invocation and response instants; the recorded
+// partial order is what the Wing–Gong checker must find a linearization
+// for. Keep threads*ops_per_thread <= 63 (the checker's exact-DFS limit).
+template <class Q>
+adversary::History record_history(Q& q, std::size_t threads,
+                                  std::size_t ops_per_thread,
+                                  std::uint64_t seed,
+                                  Values values = Values::kDistinct) {
+  std::atomic<std::size_t> clock{0};
+  std::vector<std::vector<adversary::Operation>> per_thread(threads);
+  SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      typename Q::Handle h(q);
+      std::uint64_t rng = seed ^ (0x9e3779b97f4a7c15ull * (tid + 1));
+      std::uint64_t seq = 0;
+      barrier.arrive_and_wait();
+      for (std::size_t i = 0; i < ops_per_thread; ++i) {
+        adversary::Operation op;
+        op.thread = static_cast<int>(tid);
+        if ((next_rng(rng) & 1) != 0) {
+          op.kind = adversary::OpKind::kEnqueue;
+          op.value = values == Values::kDistinct
+                         ? (((tid + 1) << 8) | seq++)
+                         : 1 + (next_rng(rng) % 3);
+          op.invoked = clock.fetch_add(1);
+          op.ok = h.try_enqueue(op.value);
+          op.responded = clock.fetch_add(1);
+        } else {
+          op.kind = adversary::OpKind::kDequeue;
+          std::uint64_t out = 0;
+          op.invoked = clock.fetch_add(1);
+          op.ok = h.try_dequeue(out);
+          op.responded = clock.fetch_add(1);
+          op.value = out;
+        }
+        per_thread[tid].push_back(op);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  adversary::History hist;
+  for (auto& ops : per_thread) {
+    for (auto& op : ops) hist.ops.push_back(op);
+  }
+  return hist;
+}
+
+// Record one history per seed on a fresh queue from `make` and assert
+// every one linearizes against the bounded-queue spec.
+template <class MakeQueue>
+void expect_linearizable_histories(MakeQueue make, std::size_t capacity,
+                                   std::size_t threads,
+                                   std::size_t ops_per_thread,
+                                   std::initializer_list<std::uint64_t> seeds,
+                                   Values values = Values::kDistinct) {
+  for (std::uint64_t seed : seeds) {
+    auto q = make();
+    const auto hist =
+        record_history(*q, threads, ops_per_thread, seed, values);
+    const auto res = adversary::check_bounded_queue(hist, capacity);
+    ASSERT_FALSE(res.history_too_large) << "seed " << seed;
+    EXPECT_TRUE(res.linearizable) << "seed " << seed;
+  }
+}
+
+}  // namespace model
+}  // namespace membq

@@ -110,6 +110,14 @@ TEST_F(MeasuredClassTest, OptimalQueueIsThetaT) {
   EXPECT_EQ(measured_class("optimal(L5)"), ThetaClass::kT);
 }
 
+TEST_F(MeasuredClassTest, LockFreeOptimalQueueIsThetaT) {
+  // The lock-free realization must keep the memory class: announcement
+  // array, DCSS descriptors, and SMR slots are all Θ(T), and the retired
+  // record backlog is excluded via the retired_B column.
+  EXPECT_EQ(measured_class("optimal(L5,lf,ebr)"), ThetaClass::kT);
+  EXPECT_EQ(measured_class("optimal(L5,lf,hp)"), ThetaClass::kT);
+}
+
 TEST_F(MeasuredClassTest, DcssQueueIsThetaT) {
   EXPECT_EQ(measured_class("dcss(L4)"), ThetaClass::kT);
 }

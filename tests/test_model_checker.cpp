@@ -1,0 +1,192 @@
+// Model-based coverage for EVERY queue in the registry, driven by the
+// shared harness in model_checker.hpp:
+//   * single-handle randomized runs checked exactly against a std::deque
+//     reference model (several seeds per queue);
+//   * real-thread histories judged by the Wing–Gong bounded-queue
+//     checker;
+//   * a coverage test that cross-checks this file's table against
+//     workload::all_queues(), so adding a registry row without model
+//     coverage fails the suite instead of slipping through.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/michael_scott.hpp"
+#include "baselines/mutex_ring.hpp"
+#include "baselines/scq_ring.hpp"
+#include "baselines/vyukov_queue.hpp"
+#include "core/lockfree_optimal_queue.hpp"
+#include "core/optimal_queue.hpp"
+#include "model_checker.hpp"
+#include "queues/dcss_queue.hpp"
+#include "queues/distinct_queue.hpp"
+#include "queues/llsc_queue.hpp"
+#include "queues/lockfree_segment_queue.hpp"
+#include "queues/segment_queue.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+using membq::model::Values;
+
+// One row per registry queue: how to build it, and whether its contract
+// restricts it to distinct values (L2's assumption). The harness runs
+// the distinct-values checks on every row and the repeating-values
+// checks — the expected-side ABA stress — on every row that allows them.
+struct ModelRow {
+  std::string name;
+  std::function<void(std::size_t cap, std::uint64_t seed, std::size_t ops,
+                     Values values)>
+      run_model;
+  std::function<void(std::size_t cap, std::size_t threads,
+                     std::size_t ops_per_thread,
+                     std::initializer_list<std::uint64_t> seeds,
+                     Values values)>
+      run_histories;
+  bool distinct_values_only = false;
+};
+
+template <class Q, class MakeFn>
+ModelRow make_row(std::string name, MakeFn make,
+                  bool distinct_values_only = false) {
+  ModelRow row;
+  row.name = name;
+  row.run_model = [make](std::size_t cap, std::uint64_t seed,
+                         std::size_t ops, Values values) {
+    auto q = make(cap);
+    membq::model::check_against_model(*q, cap, seed, ops, values);
+  };
+  row.run_histories = [make](std::size_t cap, std::size_t threads,
+                             std::size_t ops_per_thread,
+                             std::initializer_list<std::uint64_t> seeds,
+                             Values values) {
+    membq::model::expect_linearizable_histories(
+        [&] { return make(cap); }, cap, threads, ops_per_thread, seeds,
+        values);
+  };
+  row.distinct_values_only = distinct_values_only;
+  return row;
+}
+
+// Handles per queue instance: one model handle, or `threads` recorder
+// handles — provision a little headroom everywhere.
+constexpr std::size_t kThreads = 8;
+
+std::vector<ModelRow> model_rows() {
+  using membq::reclaim::EpochDomain;
+  using membq::reclaim::HazardDomain;
+  std::vector<ModelRow> rows;
+  rows.push_back(make_row<membq::OptimalQueue>(
+      "optimal(L5)", [](std::size_t c) {
+        return std::make_unique<membq::OptimalQueue>(c, kThreads);
+      }));
+  rows.push_back(make_row<membq::LockFreeOptimalQueue<EpochDomain>>(
+      "optimal(L5,lf,ebr)", [](std::size_t c) {
+        return std::make_unique<membq::LockFreeOptimalQueue<EpochDomain>>(
+            c, kThreads);
+      }));
+  rows.push_back(make_row<membq::LockFreeOptimalQueue<HazardDomain>>(
+      "optimal(L5,lf,hp)", [](std::size_t c) {
+        return std::make_unique<membq::LockFreeOptimalQueue<HazardDomain>>(
+            c, kThreads);
+      }));
+  rows.push_back(make_row<membq::DistinctQueue>(
+      "distinct(L2)",
+      [](std::size_t c) { return std::make_unique<membq::DistinctQueue>(c); },
+      /*distinct_values_only=*/true));
+  rows.push_back(make_row<membq::LlscQueue>(
+      "llsc(L3)",
+      [](std::size_t c) { return std::make_unique<membq::LlscQueue>(c); }));
+  rows.push_back(make_row<membq::DcssQueue>(
+      "dcss(L4)", [](std::size_t c) {
+        return std::make_unique<membq::DcssQueue>(c, kThreads);
+      }));
+  rows.push_back(make_row<membq::SegmentQueue>(
+      "segment(L1)", [](std::size_t c) {
+        return std::make_unique<membq::SegmentQueue>(c, /*seg_size=*/0,
+                                                     kThreads);
+      }));
+  rows.push_back(make_row<membq::LockFreeSegmentQueue<EpochDomain>>(
+      "segment(L1,ebr)", [](std::size_t c) {
+        return std::make_unique<membq::LockFreeSegmentQueue<EpochDomain>>(
+            c, /*seg_size=*/0, kThreads);
+      }));
+  rows.push_back(make_row<membq::LockFreeSegmentQueue<HazardDomain>>(
+      "segment(L1,hp)", [](std::size_t c) {
+        return std::make_unique<membq::LockFreeSegmentQueue<HazardDomain>>(
+            c, /*seg_size=*/0, kThreads);
+      }));
+  rows.push_back(make_row<membq::VyukovQueue>(
+      "vyukov(perslot-seq)",
+      [](std::size_t c) { return std::make_unique<membq::VyukovQueue>(c); }));
+  rows.push_back(make_row<membq::ScqRing>(
+      "scq(faa-ring)",
+      [](std::size_t c) { return std::make_unique<membq::ScqRing>(c); }));
+  rows.push_back(make_row<membq::MichaelScottQueue>(
+      "michael-scott", [](std::size_t c) {
+        return std::make_unique<membq::MichaelScottQueue>(c, kThreads);
+      }));
+  rows.push_back(make_row<membq::MutexRing>(
+      "mutex(seq+lock)",
+      [](std::size_t c) { return std::make_unique<membq::MutexRing>(c); }));
+  return rows;
+}
+
+// Every registry row must have a model row — a new queue cannot land
+// without model-based coverage.
+TEST(ModelCheckerTest, CoversEveryRegistryQueue) {
+  std::set<std::string> covered;
+  for (const auto& row : model_rows()) covered.insert(row.name);
+  for (const auto& spec : membq::workload::all_queues(kThreads)) {
+    EXPECT_TRUE(covered.count(spec.name))
+        << "registry queue '" << spec.name
+        << "' has no model-checker row in test_model_checker.cpp";
+  }
+}
+
+TEST(ModelCheckerTest, SingleHandleMatchesDequeModel) {
+  for (const auto& row : model_rows()) {
+    SCOPED_TRACE(row.name);
+    // Tiny capacity visits full/empty constantly; the larger one walks
+    // longer runs between boundary hits.
+    for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+      row.run_model(4, seed, 4000, Values::kDistinct);
+    }
+    row.run_model(16, 21, 6000, Values::kDistinct);
+  }
+}
+
+TEST(ModelCheckerTest, SingleHandleMatchesDequeModelRepeatingValues) {
+  // Repeated values in the same cell are the expected-side ABA that
+  // round-versioned bottoms cannot guard; every queue without L2's
+  // distinct-values assumption must shrug them off.
+  for (const auto& row : model_rows()) {
+    if (row.distinct_values_only) continue;
+    SCOPED_TRACE(row.name);
+    for (std::uint64_t seed : {31ull, 32ull}) {
+      row.run_model(2, seed, 3000, Values::kRepeating);
+    }
+  }
+}
+
+TEST(ModelCheckerTest, RecordedHistoriesLinearizable) {
+  for (const auto& row : model_rows()) {
+    SCOPED_TRACE(row.name);
+    row.run_histories(2, 3, 6, {1, 2, 3}, Values::kDistinct);
+  }
+}
+
+TEST(ModelCheckerTest, RecordedHistoriesLinearizableRepeatingValues) {
+  for (const auto& row : model_rows()) {
+    if (row.distinct_values_only) continue;
+    SCOPED_TRACE(row.name);
+    row.run_histories(2, 3, 6, {41, 42}, Values::kRepeating);
+  }
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include "baselines/scq_ring.hpp"
 #include "baselines/spsc_ring.hpp"
 #include "baselines/vyukov_queue.hpp"
+#include "core/lockfree_optimal_queue.hpp"
 #include "core/optimal_queue.hpp"
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
@@ -73,6 +74,21 @@ TEST(QueueBasicTest, DcssQueueFifoFullEmpty) {
 
 TEST(QueueBasicTest, OptimalQueueFifoFullEmpty) {
   membq::OptimalQueue q(8, 4);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, LockFreeOptimalEbrFifoFullEmpty) {
+  membq::LockFreeOptimalQueue<membq::reclaim::EpochDomain> q(8, 4);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, LockFreeOptimalHpFifoFullEmpty) {
+  membq::LockFreeOptimalQueue<membq::reclaim::HazardDomain> q(8, 4);
+  check_fifo_full_empty(q, 8);
+}
+
+TEST(QueueBasicTest, LockFreeOptimalNoReclaimFifoFullEmpty) {
+  membq::LockFreeOptimalQueue<membq::reclaim::NoReclaim> q(8, 4);
   check_fifo_full_empty(q, 8);
 }
 
@@ -146,6 +162,16 @@ TEST(QueueBasicTest, WraparoundAllQueues) {
   }
   {
     membq::OptimalQueue q(4, 2);
+    check_wraparound(q, 4);
+  }
+  {
+    // Wraparound on the lock-free L5 cycles every cell through its
+    // round-versioned bottoms and retires one announcement record per op.
+    membq::LockFreeOptimalQueue<membq::reclaim::EpochDomain> q(4, 2);
+    check_wraparound(q, 4);
+  }
+  {
+    membq::LockFreeOptimalQueue<membq::reclaim::HazardDomain> q(4, 2);
     check_wraparound(q, 4);
   }
   {

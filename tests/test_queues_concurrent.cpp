@@ -15,6 +15,7 @@
 #include "baselines/spsc_ring.hpp"
 #include "baselines/vyukov_queue.hpp"
 #include "common/barrier.hpp"
+#include "core/lockfree_optimal_queue.hpp"
 #include "core/optimal_queue.hpp"
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
@@ -120,6 +121,16 @@ TEST(QueueConcurrentTest, OptimalQueueMpmc) {
   run_mpmc_audit(q, 2, 2, kPerProducer);
 }
 
+TEST(QueueConcurrentTest, LockFreeOptimalEbrMpmc) {
+  membq::LockFreeOptimalQueue<membq::reclaim::EpochDomain> q(kCap, 8);
+  run_mpmc_audit(q, 2, 2, kPerProducer);
+}
+
+TEST(QueueConcurrentTest, LockFreeOptimalHpMpmc) {
+  membq::LockFreeOptimalQueue<membq::reclaim::HazardDomain> q(kCap, 8);
+  run_mpmc_audit(q, 2, 2, kPerProducer);
+}
+
 TEST(QueueConcurrentTest, SegmentQueueMpmc) {
   membq::SegmentQueue q(kCap, 8, 4);
   run_mpmc_audit(q, 2, 2, kPerProducer);
@@ -197,6 +208,16 @@ TEST(QueueConcurrentTest, TinyRingHighChurnAllPaperQueues) {
   }
   {
     membq::SegmentQueue q(2, 1, 2);
+    run_mpmc_audit(q, 2, 2, 1500);
+  }
+  {
+    // Capacity 2 wraps the lock-free L5 ring constantly: every vacate is
+    // one round away from the staleness window its DCSS guard closes.
+    membq::LockFreeOptimalQueue<membq::reclaim::EpochDomain> q(2, 8);
+    run_mpmc_audit(q, 2, 2, 1500);
+  }
+  {
+    membq::LockFreeOptimalQueue<membq::reclaim::HazardDomain> q(2, 8);
     run_mpmc_audit(q, 2, 2, 1500);
   }
   {

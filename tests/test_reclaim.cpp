@@ -14,6 +14,7 @@
 #include "adversary/history.hpp"
 #include "adversary/linearizability.hpp"
 #include "common/barrier.hpp"
+#include "model_checker.hpp"
 #include "common/counting_alloc.hpp"
 #include "queues/lockfree_segment_queue.hpp"
 #include "reclaim/epoch.hpp"
@@ -354,72 +355,25 @@ TEST(LockFreeSegmentTest, RetiredBacklogVisibleDuringDrain) {
 }
 
 // Recorded real-thread histories, checked by the Wing–Gong bounded-queue
-// checker. Small ops counts keep the DFS exact; a tiny capacity plus
-// seg_size=1 maximizes segment churn inside the recorded window.
-template <class Q>
-membq::adversary::History record_history(Q& q, std::size_t threads,
-                                         std::size_t ops_per_thread,
-                                         std::uint64_t seed) {
-  std::atomic<std::size_t> clock{0};
-  std::vector<std::vector<membq::adversary::Operation>> per_thread(threads);
-  membq::SpinBarrier barrier(threads);
-  std::vector<std::thread> workers;
-  for (std::size_t tid = 0; tid < threads; ++tid) {
-    workers.emplace_back([&, tid] {
-      typename Q::Handle h(q);
-      std::uint64_t rng = seed ^ (0x9e3779b97f4a7c15ull * (tid + 1));
-      std::uint64_t seq = 0;
-      barrier.arrive_and_wait();
-      for (std::size_t i = 0; i < ops_per_thread; ++i) {
-        rng ^= rng << 13;
-        rng ^= rng >> 7;
-        rng ^= rng << 17;
-        membq::adversary::Operation op;
-        op.thread = static_cast<int>(tid);
-        if ((rng & 1) != 0) {
-          op.kind = membq::adversary::OpKind::kEnqueue;
-          op.value = ((tid + 1) << 8) | seq++;
-          op.invoked = clock.fetch_add(1);
-          op.ok = h.try_enqueue(op.value);
-          op.responded = clock.fetch_add(1);
-        } else {
-          op.kind = membq::adversary::OpKind::kDequeue;
-          std::uint64_t out = 0;
-          op.invoked = clock.fetch_add(1);
-          op.ok = h.try_dequeue(out);
-          op.responded = clock.fetch_add(1);
-          op.value = out;
-        }
-        per_thread[tid].push_back(op);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  membq::adversary::History hist;
-  for (auto& ops : per_thread) {
-    for (auto& op : ops) hist.ops.push_back(op);
-  }
-  return hist;
-}
-
+// checker via the shared model harness. A tiny capacity plus seg_size=1
+// maximizes segment churn inside the recorded window.
 TEST(LockFreeSegmentTest, RecordedHistoriesLinearizableEbr) {
-  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
-    membq::LockFreeSegmentQueue<EpochDomain> q(2, 1, 4);
-    const auto hist = record_history(q, 3, 6, seed);
-    const auto res = membq::adversary::check_bounded_queue(hist, 2);
-    ASSERT_FALSE(res.history_too_large);
-    EXPECT_TRUE(res.linearizable) << "seed " << seed;
-  }
+  membq::model::expect_linearizable_histories(
+      [] {
+        return std::make_unique<membq::LockFreeSegmentQueue<EpochDomain>>(
+            2, 1, 4);
+      },
+      /*capacity=*/2, /*threads=*/3, /*ops_per_thread=*/6, {1, 2, 3, 4, 5});
 }
 
 TEST(LockFreeSegmentTest, RecordedHistoriesLinearizableHp) {
-  for (std::uint64_t seed : {11ull, 12ull, 13ull, 14ull, 15ull}) {
-    membq::LockFreeSegmentQueue<HazardDomain> q(2, 1, 4);
-    const auto hist = record_history(q, 3, 6, seed);
-    const auto res = membq::adversary::check_bounded_queue(hist, 2);
-    ASSERT_FALSE(res.history_too_large);
-    EXPECT_TRUE(res.linearizable) << "seed " << seed;
-  }
+  membq::model::expect_linearizable_histories(
+      [] {
+        return std::make_unique<membq::LockFreeSegmentQueue<HazardDomain>>(
+            2, 1, 4);
+      },
+      /*capacity=*/2, /*threads=*/3, /*ops_per_thread=*/6,
+      {11, 12, 13, 14, 15});
 }
 
 }  // namespace
