@@ -7,12 +7,48 @@
 // Absolute numbers are machine-dependent; the series ORDER is the claim.
 
 #include <cstdio>
+#include <string>
 
 #include "baselines/role_rings.hpp"
+#include "baselines/scq_ring.hpp"
 #include "baselines/spsc_ring.hpp"
+#include "baselines/vyukov_queue.hpp"
 #include "common/pinning.hpp"
+#include "queues/dcss_queue.hpp"
+#include "queues/distinct_queue.hpp"
+#include "queues/llsc_queue.hpp"
+#include "sync/memory_order.hpp"
 #include "workload/driver.hpp"
 #include "workload/registry.hpp"
+
+namespace {
+
+// One row of the E10b comparison: run `q` and tag the row with the
+// memory-order policy it was instantiated with.
+template <class Q>
+void print_order_row(Q& q, const membq::workload::RunConfig& cfg,
+                     const char* mode) {
+  membq::workload::RunResult r = membq::workload::run_workload(q, cfg);
+  r.queue += std::string("[") + mode + "]";
+  std::printf("%s\n", r.format().c_str());
+}
+
+// Both policies of one ring template, back to back. The pinned
+// instantiations make the comparison available from a single binary —
+// no MEMBQ_SEQCST_RINGS rebuild needed to see the fence cost.
+template <template <class> class Q>
+void order_pair(std::size_t cap, const membq::workload::RunConfig& cfg) {
+  {
+    Q<membq::RelaxedOrders> q(cap);
+    print_order_row(q, cfg, membq::RelaxedOrders::kName);
+  }
+  {
+    Q<membq::SeqCstOrders> q(cap);
+    print_order_row(q, cfg, membq::SeqCstOrders::kName);
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace membq::workload;
@@ -32,6 +68,30 @@ int main() {
     for (const auto& q : all_queues()) {
       const RunResult r = q.run(kCapacity, cfg);
       std::printf("%s\n", r.format().c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("=== E10b: ring memory orders — audited acq-rel vs the \n"
+              "    MEMBQ_SEQCST_RINGS escape hatch (build default: %s) ===\n",
+              membq::RingOrders::kName);
+  for (std::size_t threads : {1, 2, 4}) {
+    RunConfig cfg;
+    cfg.threads = threads;
+    cfg.ops_per_thread = kOps / threads;
+    cfg.mix = Mix::kBalanced;
+    cfg.prefill = kCapacity / 2;
+    order_pair<membq::BasicDistinctQueue>(kCapacity, cfg);
+    order_pair<membq::BasicLlscQueue>(kCapacity, cfg);
+    order_pair<membq::BasicScqRing>(kCapacity, cfg);
+    order_pair<membq::BasicVyukovQueue>(kCapacity, cfg);
+    {
+      membq::BasicDcssQueue<membq::RelaxedOrders> q(kCapacity, threads + 1);
+      print_order_row(q, cfg, membq::RelaxedOrders::kName);
+    }
+    {
+      membq::BasicDcssQueue<membq::SeqCstOrders> q(kCapacity, threads + 1);
+      print_order_row(q, cfg, membq::SeqCstOrders::kName);
     }
     std::printf("\n");
   }

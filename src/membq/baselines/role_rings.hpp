@@ -4,6 +4,13 @@
 // half-relaxations: the contended side keeps Vyukov-style per-slot
 // sequencing, the single-threaded side drops its CAS and advances its
 // index with a plain store. Used by the E12 relaxation series.
+//
+// Memory orders (policy `O`, default RingOrders): the contended side is
+// exactly the Vyukov pairing (seq acquire load against seq release
+// store, counter as a relaxed ticket allocator — see
+// baselines/vyukov_queue.hpp); the single-role side keeps its index in a
+// plain non-atomic word, which is sound only under the role contract
+// (exactly one thread ever touches it — annotated at the member).
 #pragma once
 
 #include <atomic>
@@ -11,49 +18,58 @@
 #include <cstdint>
 #include <vector>
 
+#include "sync/memory_order.hpp"
+
 namespace membq {
 
 namespace detail {
 
 struct SeqCell {
   std::atomic<std::uint64_t> seq{0};
-  std::uint64_t value = 0;
+  std::uint64_t value = 0;  // plain word; guarded by the seq pairing
 };
 
 }  // namespace detail
 
 // Many producers (Vyukov enqueue path), one consumer (plain index).
-class MpscRing {
+template <class O = RingOrders>
+class BasicMpscRing {
  public:
   static constexpr char kName[] = "mpsc(ring)";
 
-  explicit MpscRing(std::size_t capacity) : cap_(capacity), cells_(capacity) {
+  explicit BasicMpscRing(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
     assert(capacity > 0);
     for (std::size_t i = 0; i < capacity; ++i) {
-      cells_[i].seq.store(i, std::memory_order_relaxed);
+      // Pre-publication initialization.
+      cells_[i].seq.store(i, O::init);
     }
   }
 
   std::size_t capacity() const noexcept { return cap_; }
 
   bool try_enqueue(std::uint64_t v) noexcept {
-    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    // Position hint; see baselines/vyukov_queue.hpp for the pairing notes
+    // on this path (identical code).
+    std::uint64_t pos = tail_.load(O::relaxed);
     for (;;) {
       detail::SeqCell& cell = cells_[pos % cap_];
-      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      // Acquire against the consumer's release seq store (wrap vacancy).
+      const std::uint64_t seq = cell.seq.load(O::acquire);
       const std::int64_t dif =
           static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
       if (dif == 0) {
-        if (tail_.compare_exchange_weak(pos, pos + 1,
-                                        std::memory_order_relaxed)) {
+        // Relaxed ticket CAS; the slot handoff is the seq pairing.
+        if (tail_.compare_exchange_weak(pos, pos + 1, O::relaxed)) {
           cell.value = v;
-          cell.seq.store(pos + 1, std::memory_order_release);
+          // Release: publishes cell.value to the consumer's acquire.
+          cell.seq.store(pos + 1, O::release);
           return true;
         }
       } else if (dif < 0) {
         return false;
       } else {
-        pos = tail_.load(std::memory_order_relaxed);
+        pos = tail_.load(O::relaxed);
       }
     }
   }
@@ -61,41 +77,50 @@ class MpscRing {
   // Single consumer: no CAS on the head index.
   bool try_dequeue(std::uint64_t& out) noexcept {
     detail::SeqCell& cell = cells_[head_ % cap_];
-    if (cell.seq.load(std::memory_order_acquire) != head_ + 1) return false;
+    // Acquire against the producer's release: seeing this round's seq
+    // makes the plain cell.value read safe.
+    if (cell.seq.load(O::acquire) != head_ + 1) return false;
     out = cell.value;
-    cell.seq.store(head_ + cap_, std::memory_order_release);
+    // Release: publishes the vacancy (and our value read) to the
+    // wrapped round's producer.
+    cell.seq.store(head_ + cap_, O::release);
     ++head_;
     return true;
   }
 
   class Handle {
    public:
-    explicit Handle(MpscRing& q) noexcept : q_(q) {}
+    explicit Handle(BasicMpscRing& q) noexcept : q_(q) {}
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
     }
 
    private:
-    MpscRing& q_;
+    BasicMpscRing& q_;
   };
 
  private:
   const std::size_t cap_;
   std::vector<detail::SeqCell> cells_;
   alignas(64) std::atomic<std::uint64_t> tail_{0};
-  alignas(64) std::uint64_t head_ = 0;  // consumer-private
+  // Consumer-private by the MPSC role contract: only the single consumer
+  // thread reads or writes it, so it needs no atomicity at all.
+  alignas(64) std::uint64_t head_ = 0;
 };
 
 // One producer (plain index), many consumers (Vyukov dequeue path).
-class SpmcRing {
+template <class O = RingOrders>
+class BasicSpmcRing {
  public:
   static constexpr char kName[] = "spmc(ring)";
 
-  explicit SpmcRing(std::size_t capacity) : cap_(capacity), cells_(capacity) {
+  explicit BasicSpmcRing(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
     assert(capacity > 0);
     for (std::size_t i = 0; i < capacity; ++i) {
-      cells_[i].seq.store(i, std::memory_order_relaxed);
+      // Pre-publication initialization.
+      cells_[i].seq.store(i, O::init);
     }
   }
 
@@ -104,52 +129,63 @@ class SpmcRing {
   // Single producer: no CAS on the tail index.
   bool try_enqueue(std::uint64_t v) noexcept {
     detail::SeqCell& cell = cells_[tail_ % cap_];
-    if (cell.seq.load(std::memory_order_acquire) != tail_) return false;
+    // Acquire against a consumer's release (wrap vacancy).
+    if (cell.seq.load(O::acquire) != tail_) return false;
     cell.value = v;
-    cell.seq.store(tail_ + 1, std::memory_order_release);
+    // Release: publishes cell.value to the consumers' acquire loads.
+    cell.seq.store(tail_ + 1, O::release);
     ++tail_;
     return true;
   }
 
   bool try_dequeue(std::uint64_t& out) noexcept {
-    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    std::uint64_t pos = head_.load(O::relaxed);
     for (;;) {
       detail::SeqCell& cell = cells_[pos % cap_];
-      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      // Acquire against the producer's release seq store.
+      const std::uint64_t seq = cell.seq.load(O::acquire);
       const std::int64_t dif = static_cast<std::int64_t>(seq) -
                                static_cast<std::int64_t>(pos + 1);
       if (dif == 0) {
-        if (head_.compare_exchange_weak(pos, pos + 1,
-                                        std::memory_order_relaxed)) {
+        // Relaxed ticket CAS; the slot handoff is the seq pairing.
+        if (head_.compare_exchange_weak(pos, pos + 1, O::relaxed)) {
           out = cell.value;
-          cell.seq.store(pos + cap_, std::memory_order_release);
+          // Release: publishes the vacancy (and our value read) to the
+          // wrapped round's producer store.
+          cell.seq.store(pos + cap_, O::release);
           return true;
         }
       } else if (dif < 0) {
         return false;
       } else {
-        pos = head_.load(std::memory_order_relaxed);
+        pos = head_.load(O::relaxed);
       }
     }
   }
 
   class Handle {
    public:
-    explicit Handle(SpmcRing& q) noexcept : q_(q) {}
+    explicit Handle(BasicSpmcRing& q) noexcept : q_(q) {}
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
     }
 
    private:
-    SpmcRing& q_;
+    BasicSpmcRing& q_;
   };
 
  private:
   const std::size_t cap_;
   std::vector<detail::SeqCell> cells_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
-  alignas(64) std::uint64_t tail_ = 0;  // producer-private
+  // Producer-private by the SPMC role contract: only the single producer
+  // thread reads or writes it, so it needs no atomicity at all.
+  alignas(64) std::uint64_t tail_ = 0;
 };
+
+// Build-selected default realizations (see sync/memory_order.hpp).
+using MpscRing = BasicMpscRing<>;
+using SpmcRing = BasicSpmcRing<>;
 
 }  // namespace membq

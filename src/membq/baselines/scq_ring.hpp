@@ -8,6 +8,20 @@
 //   state 2r+1 — slot holds round r's value
 // The explicit cycle is what distinguishes this family from Vyukov's
 // store-published sequence (and like it, costs Θ(C) metadata).
+//
+// Memory orders (policy `O`, default RingOrders):
+//   * entry CAS: acq_rel on success — the release half hands the
+//     (state, value) pair across the role boundary (enqueue publishes
+//     round r's value, dequeue publishes round r+1's vacancy); the
+//     acquire half orders the CAS after the counter loads that justified
+//     it. Relaxed failure: retried from fresh loads.
+//   * entry load: acquire — observes the opposite role's CAS release;
+//     the cycle tag read decides help/full/empty, and the value is only
+//     trusted when the tag matches the ticket's round.
+//   * head_/tail_ load: acquire, paired with advance()'s release.
+//   * advance() CAS: release success / relaxed failure (helping).
+//   * full/empty verdicts rely on counter/entry freshness beyond the
+//     pairings (per-location coherence; see sync/memory_order.hpp).
 #pragma once
 
 #include <atomic>
@@ -16,16 +30,20 @@
 #include <vector>
 
 #include "sync/backoff.hpp"
+#include "sync/memory_order.hpp"
 
 namespace membq {
 
-class ScqRing {
+template <class O = RingOrders>
+class BasicScqRing {
  public:
   static constexpr char kName[] = "scq(faa-ring)";
 
-  explicit ScqRing(std::size_t capacity) : cap_(capacity), cells_(capacity) {
+  explicit BasicScqRing(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
     assert(capacity > 0);
-    for (auto& c : cells_) c.store(Entry{0, 0}, std::memory_order_relaxed);
+    // Pre-publication initialization.
+    for (auto& c : cells_) c.store(Entry{0, 0}, O::init);
   }
 
   std::size_t capacity() const noexcept { return cap_; }
@@ -33,14 +51,17 @@ class ScqRing {
   bool try_enqueue(std::uint64_t v) noexcept {
     Backoff backoff;
     for (;;) {
-      const std::uint64_t t = tail_.load();
-      const std::uint64_t h = head_.load();
-      Entry cur = cells_[t % cap_].load();
-      if (t != tail_.load()) continue;
+      // Acquire ticket loads paired with advance()'s release (header).
+      const std::uint64_t t = tail_.load(O::acquire);
+      const std::uint64_t h = head_.load(O::acquire);
+      Entry cur = cells_[t % cap_].load(O::acquire);
+      if (t != tail_.load(O::acquire)) continue;
       const std::uint64_t round = t / cap_;
       if (cur.state == 2 * round) {
+        // Cycle handoff: CAS 2r -> 2r+1 publishes the value with release
+        // for the dequeuer's acquire entry load.
         if (cells_[t % cap_].compare_exchange_strong(
-                cur, Entry{2 * round + 1, v})) {
+                cur, Entry{2 * round + 1, v}, O::acq_rel, O::relaxed)) {
           advance(tail_, t);
           return true;
         }
@@ -51,7 +72,8 @@ class ScqRing {
         advance(tail_, t);  // ticket t already enqueued; help
         continue;
       }
-      // Slot still carries an older cycle: full once the counters agree.
+      // Slot still carries an older cycle: full once the counters agree
+      // (freshness argument on the monotone counters).
       if (t - h >= cap_) return false;
       backoff.pause();
     }
@@ -60,14 +82,17 @@ class ScqRing {
   bool try_dequeue(std::uint64_t& out) noexcept {
     Backoff backoff;
     for (;;) {
-      const std::uint64_t h = head_.load();
-      const std::uint64_t t = tail_.load();
-      Entry cur = cells_[h % cap_].load();
-      if (h != head_.load()) continue;
+      const std::uint64_t h = head_.load(O::acquire);
+      const std::uint64_t t = tail_.load(O::acquire);
+      Entry cur = cells_[h % cap_].load(O::acquire);
+      if (h != head_.load(O::acquire)) continue;
       const std::uint64_t round = h / cap_;
       if (cur.state == 2 * round + 1) {
+        // Cycle handoff: CAS 2r+1 -> 2(r+1) publishes the vacancy for
+        // round r+1's enqueuer; the value was carried inside the same
+        // double-width word, so its read needs no separate pairing.
         if (cells_[h % cap_].compare_exchange_strong(
-                cur, Entry{2 * (round + 1), 0})) {
+                cur, Entry{2 * (round + 1), 0}, O::acq_rel, O::relaxed)) {
           advance(head_, h);
           out = cur.value;
           return true;
@@ -79,6 +104,8 @@ class ScqRing {
         advance(head_, h);  // ticket h already dequeued; help
         continue;
       }
+      // Empty verdict: entry still in round r's enqueue-ready state and
+      // tail agrees (freshness argument).
       if (t <= h) return false;  // empty
       backoff.pause();
     }
@@ -86,14 +113,14 @@ class ScqRing {
 
   class Handle {
    public:
-    explicit Handle(ScqRing& q) noexcept : q_(q) {}
+    explicit Handle(BasicScqRing& q) noexcept : q_(q) {}
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
     }
 
    private:
-    ScqRing& q_;
+    BasicScqRing& q_;
   };
 
  private:
@@ -105,7 +132,10 @@ class ScqRing {
   static void advance(std::atomic<std::uint64_t>& counter,
                       std::uint64_t seen) noexcept {
     std::uint64_t expected = seen;
-    counter.compare_exchange_strong(expected, seen + 1);
+    // Release success / relaxed failure; same helping-CAS contract as
+    // the L2 ring (queues/distinct_queue.hpp).
+    counter.compare_exchange_strong(expected, seen + 1, O::release,
+                                    O::relaxed);
   }
 
   const std::size_t cap_;
@@ -113,5 +143,8 @@ class ScqRing {
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };
+
+// Build-selected default realization (see sync/memory_order.hpp).
+using ScqRing = BasicScqRing<>;
 
 }  // namespace membq

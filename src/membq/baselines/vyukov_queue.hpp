@@ -5,6 +5,22 @@
 // slot is ready for, so enqueuers and dequeuers never touch a stale slot.
 // Fast and simple, but the per-slot metadata is exactly the linear-in-C
 // memory the paper's designs try to eliminate.
+//
+// Memory orders (policy `O`, default RingOrders). This queue was already
+// written with Vyukov's canonical orders; the audit makes each pairing
+// explicit:
+//   * seq load: acquire — pairs with the opposite role's seq release
+//     store, so a ticket owner that sees its round's sequence also sees
+//     the non-atomic cell.value write behind it. This pairing is the
+//     whole queue: the value word itself is plain memory.
+//   * seq store: release — publishes cell.value (enqueue) or the slot's
+//     vacancy for the wrapped round (dequeue) to the seq acquire loads.
+//   * head_/tail_ loads and CASes: relaxed — the counters are pure
+//     ticket allocators here. A stale position costs a retry; the CAS
+//     that wins ticket t is ordered against the slot by the seq pairing,
+//     not by the counter. (This is the one ring whose counters need no
+//     release/acquire: nothing reads a counter to infer slot state —
+//     the full/empty verdicts come from the slot's own seq word.)
 #pragma once
 
 #include <atomic>
@@ -12,83 +28,97 @@
 #include <cstdint>
 #include <vector>
 
+#include "sync/memory_order.hpp"
+
 namespace membq {
 
-class VyukovQueue {
+template <class O = RingOrders>
+class BasicVyukovQueue {
  public:
   static constexpr char kName[] = "vyukov(perslot-seq)";
 
-  explicit VyukovQueue(std::size_t capacity)
+  explicit BasicVyukovQueue(std::size_t capacity)
       : cap_(capacity), cells_(capacity) {
     assert(capacity > 0);
     for (std::size_t i = 0; i < capacity; ++i) {
-      cells_[i].seq.store(i, std::memory_order_relaxed);
+      // Pre-publication initialization.
+      cells_[i].seq.store(i, O::init);
     }
   }
 
   std::size_t capacity() const noexcept { return cap_; }
 
   bool try_enqueue(std::uint64_t v) noexcept {
-    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    // Position hint only; staleness is corrected by the CAS below.
+    std::uint64_t pos = tail_.load(O::relaxed);
     for (;;) {
       Cell& cell = cells_[pos % cap_];
-      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      // Acquire: pairs with the dequeuer's release seq store for the
+      // previous round — seeing seq == pos means the slot's earlier
+      // value was fully consumed before we overwrite cell.value.
+      const std::uint64_t seq = cell.seq.load(O::acquire);
       const std::int64_t dif =
           static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
       if (dif == 0) {
-        if (tail_.compare_exchange_weak(pos, pos + 1,
-                                        std::memory_order_relaxed)) {
+        // Ticket allocation: relaxed CAS — winning the ticket carries no
+        // data; the slot handoff is entirely the seq pairing.
+        if (tail_.compare_exchange_weak(pos, pos + 1, O::relaxed)) {
           cell.value = v;
-          cell.seq.store(pos + 1, std::memory_order_release);
+          // Release: publishes cell.value to the dequeuer's acquire seq
+          // load for this round.
+          cell.seq.store(pos + 1, O::release);
           return true;
         }
         // pos reloaded by the failed CAS; retry.
       } else if (dif < 0) {
         return false;  // slot still holds the previous round: full
       } else {
-        pos = tail_.load(std::memory_order_relaxed);
+        pos = tail_.load(O::relaxed);
       }
     }
   }
 
   bool try_dequeue(std::uint64_t& out) noexcept {
-    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    std::uint64_t pos = head_.load(O::relaxed);
     for (;;) {
       Cell& cell = cells_[pos % cap_];
-      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      // Acquire: pairs with the enqueuer's release seq store — seeing
+      // seq == pos + 1 makes the non-atomic cell.value read below safe.
+      const std::uint64_t seq = cell.seq.load(O::acquire);
       const std::int64_t dif = static_cast<std::int64_t>(seq) -
                                static_cast<std::int64_t>(pos + 1);
       if (dif == 0) {
-        if (head_.compare_exchange_weak(pos, pos + 1,
-                                        std::memory_order_relaxed)) {
+        if (head_.compare_exchange_weak(pos, pos + 1, O::relaxed)) {
           out = cell.value;
-          cell.seq.store(pos + cap_, std::memory_order_release);
+          // Release: publishes the vacancy (and our cell.value read) to
+          // the wrapped round's enqueuer.
+          cell.seq.store(pos + cap_, O::release);
           return true;
         }
       } else if (dif < 0) {
         return false;  // slot not yet published: empty
       } else {
-        pos = head_.load(std::memory_order_relaxed);
+        pos = head_.load(O::relaxed);
       }
     }
   }
 
   class Handle {
    public:
-    explicit Handle(VyukovQueue& q) noexcept : q_(q) {}
+    explicit Handle(BasicVyukovQueue& q) noexcept : q_(q) {}
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
     }
 
    private:
-    VyukovQueue& q_;
+    BasicVyukovQueue& q_;
   };
 
  private:
   struct Cell {
     std::atomic<std::uint64_t> seq{0};
-    std::uint64_t value = 0;
+    std::uint64_t value = 0;  // plain word; guarded by the seq pairing
   };
 
   const std::size_t cap_;
@@ -96,5 +126,8 @@ class VyukovQueue {
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };
+
+// Build-selected default realization (see sync/memory_order.hpp).
+using VyukovQueue = BasicVyukovQueue<>;
 
 }  // namespace membq

@@ -6,6 +6,19 @@
 // that slept through a ring round cannot land a stale CAS — the scenario
 // Theorem 3.12 uses to kill constant-overhead CAS rings. The memory price
 // is the DCSS descriptor pool: one descriptor per thread, Θ(T).
+//
+// Memory orders (policy `O`, default RingOrders): the cell transitions go
+// through BasicDcssDomain<O> — read() is an acquire of the cell, dcss()
+// resolves with a release, and the decision reads the counter inside the
+// marker window (pairings annotated in sync/dcss.cpp). The counters here
+// follow the same pairing as the other rings:
+//   * head_/tail_ load: acquire — pairs with advance()'s release.
+//   * advance() CAS: release on success, relaxed on failure (helping
+//     race lost, nothing observed).
+//   * full/empty verdicts rely on counter/cell freshness beyond the
+//     pairings (per-location coherence; see sync/memory_order.hpp). The
+//     stale-ticket protection itself does NOT: that is the DCSS second
+//     comparand, which is what this design exists to demonstrate.
 #pragma once
 
 #include <atomic>
@@ -15,38 +28,43 @@
 
 #include "sync/backoff.hpp"
 #include "sync/dcss.hpp"
+#include "sync/memory_order.hpp"
 
 namespace membq {
 
-class DcssQueue {
+template <class O = RingOrders>
+class BasicDcssQueue {
  public:
   static constexpr char kName[] = "dcss(L4)";
   // Bit 63 is the DCSS marker bit; ⊥ lives just below it.
   static constexpr std::uint64_t kBot = std::uint64_t{1} << 62;
 
-  explicit DcssQueue(std::size_t capacity,
-                     std::size_t max_threads = DcssDomain::kDefaultMaxThreads)
+  explicit BasicDcssQueue(
+      std::size_t capacity,
+      std::size_t max_threads = BasicDcssDomain<O>::kDefaultMaxThreads)
       : cap_(capacity), cells_(capacity), domain_(max_threads) {
     assert(capacity > 0);
-    for (auto& c : cells_) c.store(kBot, std::memory_order_relaxed);
+    // Pre-publication initialization.
+    for (auto& c : cells_) c.store(kBot, O::init);
   }
 
   std::size_t capacity() const noexcept { return cap_; }
-  DcssDomain& domain() noexcept { return domain_; }
+  BasicDcssDomain<O>& domain() noexcept { return domain_; }
 
   class Handle {
    public:
-    explicit Handle(DcssQueue& q) : q_(q), th_(q.domain_) {}
+    explicit Handle(BasicDcssQueue& q) : q_(q), th_(q.domain_) {}
 
     bool try_enqueue(std::uint64_t v) noexcept {
       assert(v < kBot && "values must stay below the reserved range");
       Backoff backoff;
-      DcssQueue& q = q_;
+      BasicDcssQueue& q = q_;
       for (;;) {
-        const std::uint64_t t = q.tail_.load();
-        const std::uint64_t h = q.head_.load();
+        // Acquire ticket loads paired with advance()'s release (header).
+        const std::uint64_t t = q.tail_.load(O::acquire);
+        const std::uint64_t h = q.head_.load(O::acquire);
         const std::uint64_t cur = q.domain_.read(&q.cells_[t % q.cap_]);
-        if (t != q.tail_.load()) continue;
+        if (t != q.tail_.load(O::acquire)) continue;
         if (cur == kBot) {
           // Fullness gate on the empty-cell path: ⊥ may mean a vacated
           // cell whose dequeuer has not yet advanced head (the DCSS only
@@ -66,12 +84,12 @@ class DcssQueue {
 
     bool try_dequeue(std::uint64_t& out) noexcept {
       Backoff backoff;
-      DcssQueue& q = q_;
+      BasicDcssQueue& q = q_;
       for (;;) {
-        const std::uint64_t h = q.head_.load();
-        const std::uint64_t t = q.tail_.load();
+        const std::uint64_t h = q.head_.load(O::acquire);
+        const std::uint64_t t = q.tail_.load(O::acquire);
         const std::uint64_t cur = q.domain_.read(&q.cells_[h % q.cap_]);
-        if (h != q.head_.load()) continue;
+        if (h != q.head_.load(O::acquire)) continue;
         if (cur != kBot) {
           if (th_.dcss(&q.cells_[h % q.cap_], cur, kBot, &q.head_, h)) {
             advance(q.head_, h);
@@ -81,14 +99,16 @@ class DcssQueue {
           backoff.pause();
           continue;
         }
+        // Empty verdict: the domain read (acquire) saw ⊥ at the head
+        // ticket and tail agrees (freshness argument).
         if (t <= h) return false;  // empty
         advance(q.head_, h);       // ticket h already dequeued; help
       }
     }
 
    private:
-    DcssQueue& q_;
-    DcssDomain::ThreadHandle th_;
+    BasicDcssQueue& q_;
+    typename BasicDcssDomain<O>::ThreadHandle th_;
   };
 
  private:
@@ -97,14 +117,22 @@ class DcssQueue {
   static void advance(std::atomic<std::uint64_t>& counter,
                       std::uint64_t seen) noexcept {
     std::uint64_t expected = seen;
-    counter.compare_exchange_strong(expected, seen + 1);
+    // Release on success / relaxed on failure; same helping-CAS contract
+    // as the L2 ring. NOTE: the DCSS decision load of this counter reads
+    // it through O::acquire inside the marker window; the release here
+    // is what the window observes.
+    counter.compare_exchange_strong(expected, seen + 1, O::release,
+                                    O::relaxed);
   }
 
   const std::size_t cap_;
   std::vector<std::atomic<std::uint64_t>> cells_;
-  DcssDomain domain_;
+  BasicDcssDomain<O> domain_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };
+
+// Build-selected default realization (see sync/memory_order.hpp).
+using DcssQueue = BasicDcssQueue<>;
 
 }  // namespace membq

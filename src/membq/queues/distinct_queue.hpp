@@ -14,6 +14,27 @@
 //   dequeue: cell must hold a value; CAS it to ⊥_{round+1}, then help
 //            advance head. A cell holding ⊥_{round+1} means the ticket is
 //            served (help head); ⊥_round with tail ≤ h means empty.
+//
+// Memory orders (policy `O`, default RingOrders; see sync/memory_order.hpp
+// for the policy contract and the freshness-argument caveat):
+//   * cell CAS (⊥_r → v and v → ⊥_{r+1}): acq_rel on success. The release
+//     half publishes the transition to the opposite role's acquire cell
+//     load; the acquire half orders the CAS after the counter loads that
+//     justified it. Failure is relaxed — a failed transition is retried
+//     from fresh loads and its observed value is discarded.
+//   * cell load: acquire — observes the slot CAS releases of both roles,
+//     so a thread that sees ⊥_{r+1} (resp. a value) also sees every write
+//     the vacating dequeuer (resp. publishing enqueuer) made before it.
+//   * head_/tail_ load: acquire — pairs with advance()'s release, so a
+//     ticket computed from tail ≥ x happens-after the cell transitions
+//     that let tail reach x.
+//   * advance() CAS: release on success — publishes the cell transition
+//     completed at ticket `seen` to everyone who derives a ticket from
+//     the advanced counter. Failure relaxed: losing the helping race
+//     observes nothing.
+//   * full/empty verdicts additionally rely on counter/cell freshness
+//     (per-location coherence), not just the pairings above; the litmus
+//     suite stresses exactly these gates.
 #pragma once
 
 #include <atomic>
@@ -22,18 +43,22 @@
 #include <vector>
 
 #include "sync/backoff.hpp"
+#include "sync/memory_order.hpp"
 
 namespace membq {
 
-class DistinctQueue {
+template <class O = RingOrders>
+class BasicDistinctQueue {
  public:
   static constexpr char kName[] = "distinct(L2)";
   static constexpr std::uint64_t kBotBit = std::uint64_t{1} << 63;
 
-  explicit DistinctQueue(std::size_t capacity)
+  explicit BasicDistinctQueue(std::size_t capacity)
       : cap_(capacity), cells_(capacity) {
     assert(capacity > 0);
-    for (auto& c : cells_) c.store(bot(0), std::memory_order_relaxed);
+    // Pre-publication: the constructor finishes before any other thread
+    // can hold a reference.
+    for (auto& c : cells_) c.store(bot(0), O::init);
   }
 
   std::size_t capacity() const noexcept { return cap_; }
@@ -42,19 +67,26 @@ class DistinctQueue {
     assert((v & kBotBit) == 0 && "values must keep bit 63 clear");
     Backoff backoff;
     for (;;) {
-      const std::uint64_t t = tail_.load();
-      const std::uint64_t h = head_.load();
-      std::uint64_t cur = cells_[t % cap_].load();
-      if (t != tail_.load()) continue;
+      // Ticket/limit loads: acquire, paired with advance()'s release (see
+      // header comment) — the cell state read below is at least as new as
+      // the transitions that produced this tail/head.
+      const std::uint64_t t = tail_.load(O::acquire);
+      const std::uint64_t h = head_.load(O::acquire);
+      std::uint64_t cur = cells_[t % cap_].load(O::acquire);
+      // Confirm ticket t was still current around the cell read (tail_ is
+      // monotone, so re-reading t bounds the cell read's round).
+      if (t != tail_.load(O::acquire)) continue;
       const std::uint64_t round = t / cap_;
       if (is_bot(cur)) {
         // Fullness gate on the empty-cell path too: the cell can read
         // ⊥_round while a dequeuer that vacated it has not yet advanced
         // head. Writing then would land a wrapped value under a head
-        // ticket another dequeuer may still serve.
+        // ticket another dequeuer may still serve. (Freshness argument:
+        // h is an acquire read of a monotone counter.)
         if (t - h >= cap_) return false;
         if (bot_round(cur) == round &&
-            cells_[t % cap_].compare_exchange_strong(cur, v)) {
+            cells_[t % cap_].compare_exchange_strong(
+                cur, v, O::acq_rel, O::relaxed)) {
           advance(tail_, t);
           return true;
         }
@@ -70,13 +102,19 @@ class DistinctQueue {
   bool try_dequeue(std::uint64_t& out) noexcept {
     Backoff backoff;
     for (;;) {
-      const std::uint64_t h = head_.load();
-      const std::uint64_t t = tail_.load();
-      std::uint64_t cur = cells_[h % cap_].load();
-      if (h != head_.load()) continue;
+      // Same pairing as try_enqueue: acquire counter loads against
+      // advance()'s release.
+      const std::uint64_t h = head_.load(O::acquire);
+      const std::uint64_t t = tail_.load(O::acquire);
+      std::uint64_t cur = cells_[h % cap_].load(O::acquire);
+      if (h != head_.load(O::acquire)) continue;
       const std::uint64_t round = h / cap_;
       if (!is_bot(cur)) {
-        if (cells_[h % cap_].compare_exchange_strong(cur, bot(round + 1))) {
+        // Vacate: value → ⊥_{round+1}. Release publishes the vacancy to
+        // the enqueuer's acquire cell load; the version bump (round+1)
+        // is what rejects a stale wrapped enqueue, independent of order.
+        if (cells_[h % cap_].compare_exchange_strong(
+                cur, bot(round + 1), O::acq_rel, O::relaxed)) {
           advance(head_, h);
           out = cur;
           return true;
@@ -88,6 +126,10 @@ class DistinctQueue {
         advance(head_, h);  // ticket h already dequeued; help
         continue;
       }
+      // Empty verdict: cell still holds ⊥_round (the acquire cell load is
+      // the arbiter — no enqueue of ticket h had completed at that read,
+      // and tickets are served in order) and tail agrees no later element
+      // exists (freshness argument on the monotone counter).
       if (t <= h) return false;  // empty
       backoff.pause();
     }
@@ -96,14 +138,14 @@ class DistinctQueue {
   // Uniform per-thread access point (stateless for this queue).
   class Handle {
    public:
-    explicit Handle(DistinctQueue& q) noexcept : q_(q) {}
+    explicit Handle(BasicDistinctQueue& q) noexcept : q_(q) {}
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
     }
 
    private:
-    DistinctQueue& q_;
+    BasicDistinctQueue& q_;
   };
 
  private:
@@ -117,7 +159,11 @@ class DistinctQueue {
   static void advance(std::atomic<std::uint64_t>& counter,
                       std::uint64_t seen) noexcept {
     std::uint64_t expected = seen;
-    counter.compare_exchange_strong(expected, seen + 1);
+    // Release on success: publishes the cell transition at ticket `seen`
+    // to the acquire counter loads above. Relaxed on failure: someone
+    // else already advanced; nothing is read from the failure.
+    counter.compare_exchange_strong(expected, seen + 1, O::release,
+                                    O::relaxed);
   }
 
   const std::size_t cap_;
@@ -125,5 +171,8 @@ class DistinctQueue {
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };
+
+// Build-selected default realization (see sync/memory_order.hpp).
+using DistinctQueue = BasicDistinctQueue<>;
 
 }  // namespace membq

@@ -6,6 +6,20 @@
 // bottoms are unnecessary. In the paper's model hardware LL/SC makes this
 // queue Θ(1); our software emulation pays 8 bytes per cell for the stamp,
 // reported separately as aux bytes in the overhead tables.
+//
+// Memory orders (policy `O`, default RingOrders): the cell transitions
+// are ll()/sc() on BasicLLSCCell<O> — acquire link loads against acq_rel
+// publishing sc()s, annotated in sync/llsc.hpp. The positioning counters
+// follow the same pairing as the L2 ring:
+//   * head_/tail_ load: acquire — pairs with advance()'s release, so a
+//     ticket derived from an advanced counter happens-after the cell
+//     transition that let the counter advance.
+//   * advance() CAS: release on success (publishes the transition at
+//     ticket `seen`), relaxed on failure (lost the helping race, nothing
+//     observed).
+//   * the full/empty verdicts rely on counter/cell freshness beyond the
+//     pairings (per-location coherence); see sync/memory_order.hpp and
+//     the litmus suite.
 #pragma once
 
 #include <atomic>
@@ -15,15 +29,18 @@
 
 #include "sync/backoff.hpp"
 #include "sync/llsc.hpp"
+#include "sync/memory_order.hpp"
 
 namespace membq {
 
-class LlscQueue {
+template <class O = RingOrders>
+class BasicLlscQueue {
  public:
   static constexpr char kName[] = "llsc(L3)";
   static constexpr std::uint64_t kBot = ~std::uint64_t{0};
 
-  explicit LlscQueue(std::size_t capacity) : cap_(capacity), cells_(capacity) {
+  explicit BasicLlscQueue(std::size_t capacity)
+      : cap_(capacity), cells_(capacity) {
     assert(capacity > 0);
     for (auto& c : cells_) {
       const auto link = c.ll();
@@ -37,15 +54,18 @@ class LlscQueue {
     assert(v != kBot && "kBot is reserved");
     Backoff backoff;
     for (;;) {
-      const std::uint64_t t = tail_.load();
-      const std::uint64_t h = head_.load();
-      const LLSCCell::Link link = cells_[t % cap_].ll();
-      if (t != tail_.load()) continue;
+      // Acquire ticket loads paired with advance()'s release (header).
+      const std::uint64_t t = tail_.load(O::acquire);
+      const std::uint64_t h = head_.load(O::acquire);
+      const typename BasicLLSCCell<O>::Link link = cells_[t % cap_].ll();
+      if (t != tail_.load(O::acquire)) continue;
       if (link.value == kBot) {
         // Same fullness gate as the value branch: ⊥ may mean a vacated
         // cell whose dequeuer has not yet advanced head; writing a
         // wrapped value there would overlap a still-serving head ticket.
         if (t - h >= cap_) return false;
+        // sc publishes v with release; any staleness in `link` (another
+        // thread stored since our ll) fails the sc via the stamp.
         if (cells_[t % cap_].sc(link, v)) {
           advance(tail_, t);
           return true;
@@ -61,10 +81,10 @@ class LlscQueue {
   bool try_dequeue(std::uint64_t& out) noexcept {
     Backoff backoff;
     for (;;) {
-      const std::uint64_t h = head_.load();
-      const std::uint64_t t = tail_.load();
-      const LLSCCell::Link link = cells_[h % cap_].ll();
-      if (h != head_.load()) continue;
+      const std::uint64_t h = head_.load(O::acquire);
+      const std::uint64_t t = tail_.load(O::acquire);
+      const typename BasicLLSCCell<O>::Link link = cells_[h % cap_].ll();
+      if (h != head_.load(O::acquire)) continue;
       if (link.value != kBot) {
         if (cells_[h % cap_].sc(link, kBot)) {
           advance(head_, h);
@@ -74,6 +94,9 @@ class LlscQueue {
         backoff.pause();
         continue;
       }
+      // Empty verdict: the acquire ll() saw ⊥ at the head ticket (no
+      // enqueue of ticket h had published) and tail agrees (freshness
+      // argument on the monotone counter).
       if (t <= h) return false;  // empty
       advance(head_, h);         // ticket h already dequeued; help
     }
@@ -81,27 +104,33 @@ class LlscQueue {
 
   class Handle {
    public:
-    explicit Handle(LlscQueue& q) noexcept : q_(q) {}
+    explicit Handle(BasicLlscQueue& q) noexcept : q_(q) {}
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
     }
 
    private:
-    LlscQueue& q_;
+    BasicLlscQueue& q_;
   };
 
  private:
   static void advance(std::atomic<std::uint64_t>& counter,
                       std::uint64_t seen) noexcept {
     std::uint64_t expected = seen;
-    counter.compare_exchange_strong(expected, seen + 1);
+    // Release on success / relaxed on failure; same helping-CAS contract
+    // as the L2 ring (see queues/distinct_queue.hpp).
+    counter.compare_exchange_strong(expected, seen + 1, O::release,
+                                    O::relaxed);
   }
 
   const std::size_t cap_;
-  std::vector<LLSCCell> cells_;
+  std::vector<BasicLLSCCell<O>> cells_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };
+
+// Build-selected default realization (see sync/memory_order.hpp).
+using LlscQueue = BasicLlscQueue<>;
 
 }  // namespace membq

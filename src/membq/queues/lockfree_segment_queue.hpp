@@ -72,14 +72,23 @@ class LockFreeSegmentQueue {
         domain_(max_threads) {
     assert(capacity > 0);
     Segment* s = alloc_segment();
+    // Pre-publication: the constructor finishes before any Handle exists.
     head_.store(s, std::memory_order_relaxed);
     tail_.store(s, std::memory_order_relaxed);
   }
 
   ~LockFreeSegmentQueue() {
-    Segment* s = head_.load(std::memory_order_relaxed);
+    // Acquire loads, even though destruction must not race with live
+    // handles: the last appender may have published a segment (release
+    // CAS on next) from a thread whose join/synchronization the caller
+    // provides out of band. If that external happens-before edge is ever
+    // weaker than a full join (e.g. a relaxed "done" flag), relaxed loads
+    // here could walk a chain whose next pointers are not yet visible and
+    // leak the tail segments. Acquire pairs with the append CAS's release
+    // and keeps the walk self-sufficient.
+    Segment* s = head_.load(std::memory_order_acquire);
     while (s != nullptr) {
-      Segment* next = s->next.load(std::memory_order_relaxed);
+      Segment* next = s->next.load(std::memory_order_acquire);
       Segment::destroy(s);
       s = next;
     }
@@ -195,6 +204,9 @@ class LockFreeSegmentQueue {
       // Segment exhausted: append a fresh one with v pre-installed, so the
       // winning appender finishes its enqueue in the same step.
       Segment* s = alloc_segment();
+      // Relaxed is sound here: s is still thread-private; the release
+      // half of the append CAS below publishes both stores to anyone who
+      // acquires next (and, transitively, tail_/head_).
       s->slots()[0].store(v, std::memory_order_relaxed);
       s->enq.store(1, std::memory_order_relaxed);
       Segment* expected = nullptr;

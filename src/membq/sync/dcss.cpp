@@ -7,12 +7,9 @@ namespace membq {
 
 namespace {
 constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << 48) - 1;
-}  // namespace
 
-namespace {
-
-std::size_t checked_slots(std::size_t max_threads) {
-  if (max_threads > DcssDomain::kMaxSlots) {
+std::size_t checked_slots(std::size_t max_threads, std::size_t max_slots) {
+  if (max_threads > max_slots) {
     throw std::invalid_argument(
         "DcssDomain: max_threads exceeds the 15-bit marker slot field");
   }
@@ -21,23 +18,31 @@ std::size_t checked_slots(std::size_t max_threads) {
 
 }  // namespace
 
-DcssDomain::DcssDomain(std::size_t max_threads)
-    : max_threads_(checked_slots(max_threads)),
+template <class O>
+BasicDcssDomain<O>::BasicDcssDomain(std::size_t max_threads)
+    : max_threads_(checked_slots(max_threads, kMaxSlots)),
       descriptors_(new Descriptor[max_threads_]),
       slot_used_(new std::atomic<bool>[max_threads_]) {
   for (std::size_t i = 0; i < max_threads_; ++i) {
-    slot_used_[i].store(false, std::memory_order_relaxed);
+    // Pre-publication: the domain is handed out after construction.
+    slot_used_[i].store(false, O::init);
   }
 }
 
-DcssDomain::~DcssDomain() {
+template <class O>
+BasicDcssDomain<O>::~BasicDcssDomain() {
   delete[] descriptors_;
   delete[] slot_used_;
 }
 
-std::size_t DcssDomain::acquire_slot() {
+template <class O>
+std::size_t BasicDcssDomain<O>::acquire_slot() {
   for (std::size_t i = 0; i < max_threads_; ++i) {
-    if (!slot_used_[i].exchange(true, std::memory_order_acq_rel)) {
+    // Slot ownership handoff: the acquire half pairs with release_slot's
+    // release store, so a new owner sees the descriptor quiescent (seq
+    // even) as the previous owner left it; the release half publishes
+    // the claim.
+    if (!slot_used_[i].exchange(true, O::acq_rel)) {
       return i;
     }
   }
@@ -45,87 +50,130 @@ std::size_t DcssDomain::acquire_slot() {
       "DcssDomain: more live ThreadHandles than max_threads");
 }
 
-void DcssDomain::release_slot(std::size_t slot) noexcept {
-  slot_used_[slot].store(false, std::memory_order_release);
+template <class O>
+void BasicDcssDomain<O>::release_slot(std::size_t slot) noexcept {
+  // Release: publishes the final (even) descriptor seq to the slot's
+  // next owner (paired with acquire_slot's acquire exchange).
+  slot_used_[slot].store(false, O::release);
 }
 
-void DcssDomain::help(std::uint64_t marker) noexcept {
+template <class O>
+void BasicDcssDomain<O>::help(std::uint64_t marker) noexcept {
   const std::size_t slot = static_cast<std::size_t>((marker >> 48) & 0x7fff);
   const std::uint64_t seq = marker & kSeqMask;
   if (slot >= max_threads_) return;
   Descriptor& d = descriptors_[slot];
 
-  if (d.seq.load(std::memory_order_acquire) != seq) return;
-  std::atomic<std::uint64_t>* a1 = d.a1.load(std::memory_order_relaxed);
-  const std::atomic<std::uint64_t>* a2 = d.a2.load(std::memory_order_relaxed);
-  const std::uint64_t e1 = d.e1.load(std::memory_order_relaxed);
-  const std::uint64_t n1 = d.n1.load(std::memory_order_relaxed);
-  const std::uint64_t e2 = d.e2.load(std::memory_order_relaxed);
-  // Seqlock validation: fields only mutate while seq is even, so seeing the
-  // same odd seq on both sides proves the snapshot is this operation's.
-  if (d.seq.load(std::memory_order_acquire) != seq) return;
+  // Pairing (a), descriptor activation: acquire on seq against the
+  // owner's release activation store. A stale (smaller) seq means the
+  // activation is not visible yet — bail; the owner is live and will
+  // finish its own operation.
+  if (d.seq.load(O::acquire) != seq) return;
+  std::atomic<std::uint64_t>* a1 = d.a1.load(O::relaxed);
+  const std::atomic<std::uint64_t>* a2 = d.a2.load(O::relaxed);
+  const std::uint64_t e1 = d.e1.load(O::relaxed);
+  const std::uint64_t n1 = d.n1.load(O::relaxed);
+  const std::uint64_t e2 = d.e2.load(O::relaxed);
+  // Seqlock validation: fields only mutate while seq is even, so seeing
+  // the same odd seq on both sides (acquire loads bracketing the relaxed
+  // field snapshot) proves the snapshot is this operation's.
+  if (d.seq.load(O::acquire) != seq) return;
 
   // The decision word carries the sequence, so a helper that stalls here
   // and wakes after the descriptor was recycled cannot decide (or
   // misread) the next operation: its expected value names the old seq.
-  std::uint64_t decision = d.decision.load(std::memory_order_acquire);
+  std::uint64_t decision = d.decision.load(O::acquire);
   if ((decision >> 2) != seq) return;  // recycled
   if ((decision & 3) == kUndecided) {
+    // Pairing (b), the decision read. This helper observed the marker in
+    // *a1 via an acquire load before arriving here, so this *a2 load is
+    // ordered after the marker install; the marker is removed only after
+    // a decision lands, so a winning decider's read lies inside the
+    // marker window (freshness of *a2 within the window is the coherence
+    // argument from sync/memory_order.hpp).
     const std::uint64_t want =
         (seq << 2) |
-        ((a2->load(std::memory_order_seq_cst) == e2) ? kSucceeded : kFailed);
+        ((a2->load(O::acquire) == e2) ? kSucceeded : kFailed);
     std::uint64_t expected = (seq << 2) | kUndecided;
-    d.decision.compare_exchange_strong(expected, want,
-                                       std::memory_order_acq_rel);
-    decision = d.decision.load(std::memory_order_acquire);
+    // Release publishes the verdict (paired with the acquire decision
+    // loads here and in the owner); acquire orders the final CAS below
+    // after the verdict settles. Only the first decider wins.
+    d.decision.compare_exchange_strong(expected, want, O::acq_rel,
+                                       O::acquire);
+    decision = d.decision.load(O::acquire);
     if ((decision >> 2) != seq) return;  // recycled under us
   }
 
-  // If the descriptor was recycled after the decision read, this CAS
-  // expects a marker that was removed before recycling and is never
-  // reissued, so it fails harmlessly.
+  // Pairing (c), resolution. If the descriptor was recycled after the
+  // decision read, this CAS expects a marker that was removed before
+  // recycling and is never reissued, so it fails harmlessly. Release on
+  // success publishes the resolved value to acquire read()s of *a1;
+  // relaxed on failure (someone else resolved first, nothing observed).
   std::uint64_t expected = marker;
-  a1->compare_exchange_strong(
-      expected, (decision & 3) == kSucceeded ? n1 : e1,
-      std::memory_order_seq_cst);
+  a1->compare_exchange_strong(expected,
+                              (decision & 3) == kSucceeded ? n1 : e1,
+                              O::release, O::relaxed);
 }
 
-std::uint64_t DcssDomain::read(const std::atomic<std::uint64_t>* addr)
+template <class O>
+std::uint64_t BasicDcssDomain<O>::read(const std::atomic<std::uint64_t>* addr)
     noexcept {
   for (;;) {
-    const std::uint64_t v = addr->load(std::memory_order_seq_cst);
+    // Acquire pairs with the resolution CAS (pairing (c)) and with the
+    // value-publishing CASes of the rings above, so a value read here
+    // carries the happens-before of whoever installed it.
+    const std::uint64_t v = addr->load(O::acquire);
     if (!is_marker(v)) return v;
     help(v);
   }
 }
 
-DcssDomain::ThreadHandle::ThreadHandle(DcssDomain& domain)
+template <class O>
+BasicDcssDomain<O>::ThreadHandle::ThreadHandle(BasicDcssDomain& domain)
     : domain_(domain), slot_(domain.acquire_slot()) {}
 
-DcssDomain::ThreadHandle::~ThreadHandle() { domain_.release_slot(slot_); }
+template <class O>
+BasicDcssDomain<O>::ThreadHandle::~ThreadHandle() {
+  domain_.release_slot(slot_);
+}
 
-bool DcssDomain::ThreadHandle::dcss(std::atomic<std::uint64_t>* a1,
-                                    std::uint64_t e1, std::uint64_t n1,
-                                    const std::atomic<std::uint64_t>* a2,
-                                    std::uint64_t e2) noexcept {
+template <class O>
+bool BasicDcssDomain<O>::ThreadHandle::dcss(
+    std::atomic<std::uint64_t>* a1, std::uint64_t e1, std::uint64_t n1,
+    const std::atomic<std::uint64_t>* a2, std::uint64_t e2) noexcept {
   assert(!is_marker(e1) && !is_marker(n1));
   Descriptor& d = domain_.descriptors_[slot_];
 
-  const std::uint64_t seq = d.seq.load(std::memory_order_relaxed) + 1;
-  d.a1.store(a1, std::memory_order_relaxed);
-  d.a2.store(a2, std::memory_order_relaxed);
-  d.e1.store(e1, std::memory_order_relaxed);
-  d.n1.store(n1, std::memory_order_relaxed);
-  d.e2.store(e2, std::memory_order_relaxed);
-  d.decision.store((seq << 2) | kUndecided, std::memory_order_relaxed);
-  d.seq.store(seq, std::memory_order_release);  // activate descriptor
+  // Own slot: only this handle writes seq while it owns the slot, so the
+  // read needs no ordering.
+  const std::uint64_t seq = d.seq.load(O::relaxed) + 1;
+  // Field stores are relaxed: pairing (a) publishes them via the release
+  // activation store of seq below (helpers bracket their snapshot with
+  // acquire seq loads).
+  d.a1.store(a1, O::relaxed);
+  d.a2.store(a2, O::relaxed);
+  d.e1.store(e1, O::relaxed);
+  d.n1.store(n1, O::relaxed);
+  d.e2.store(e2, O::relaxed);
+  d.decision.store((seq << 2) | kUndecided, O::relaxed);
+  d.seq.store(seq, O::release);  // activate descriptor (pairing (a))
 
   const std::uint64_t marker = domain_.make_marker(slot_, seq);
   bool published = false;
   std::uint64_t expected = e1;
   for (;;) {
-    if (a1->compare_exchange_strong(expected, marker,
-                                    std::memory_order_seq_cst)) {
+    // Marker install: the release half makes the install ordered after
+    // the activation store (helpers that bail on a stale seq retry via
+    // read()'s loop); the acquire half orders the decision's *a2 load
+    // below after the install — the start of the marker window (pairing
+    // (b)). Failure must be acquire, not relaxed: a marker value read
+    // here is passed to help(), whose decision path relies on the helper
+    // having observed the marker through an acquire edge (the seqlock
+    // acquire inside help() only synchronizes with the activation store,
+    // which precedes the install — it cannot order the helper's *a2 read
+    // after the marker landed in *a1).
+    if (a1->compare_exchange_strong(expected, marker, O::acq_rel,
+                                    O::acquire)) {
       published = true;
       break;
     }
@@ -139,22 +187,31 @@ bool DcssDomain::ThreadHandle::dcss(std::atomic<std::uint64_t>* a1,
 
   bool ok = false;
   if (published) {
+    // Pairing (b), owner-side decision read: ordered after our own
+    // marker-install CAS (acq_rel above), i.e. inside the marker window.
     const std::uint64_t want =
         (seq << 2) |
-        ((a2->load(std::memory_order_seq_cst) == e2) ? kSucceeded : kFailed);
+        ((a2->load(O::acquire) == e2) ? kSucceeded : kFailed);
     std::uint64_t undecided = (seq << 2) | kUndecided;
-    d.decision.compare_exchange_strong(undecided, want,
-                                       std::memory_order_acq_rel);
-    ok = d.decision.load(std::memory_order_acquire) ==
-         ((seq << 2) | kSucceeded);
+    d.decision.compare_exchange_strong(undecided, want, O::acq_rel,
+                                       O::acquire);
+    ok = d.decision.load(O::acquire) == ((seq << 2) | kSucceeded);
+    // Pairing (c), resolution: release the decided value to read()s.
     std::uint64_t m = marker;
-    a1->compare_exchange_strong(m, ok ? n1 : e1, std::memory_order_seq_cst);
+    a1->compare_exchange_strong(m, ok ? n1 : e1, O::release, O::relaxed);
   }
 
-  // Retire: the marker is guaranteed out of *a1 by now (our final CAS or a
-  // helper's), so recycling the descriptor is safe.
-  d.seq.store(seq + 1, std::memory_order_release);
+  // Retire: the marker is guaranteed out of *a1 by now (our final CAS or
+  // a helper's), so recycling the descriptor is safe. Release keeps the
+  // resolution CAS ordered before the recycle for helpers that acquire
+  // this seq.
+  d.seq.store(seq + 1, O::release);
   return ok;
 }
+
+// All users go through one of these two policies (see sync/memory_order.hpp);
+// keeping the definitions here keeps the template out of every TU.
+template class BasicDcssDomain<RelaxedOrders>;
+template class BasicDcssDomain<SeqCstOrders>;
 
 }  // namespace membq

@@ -21,26 +21,47 @@
 //
 // Values stored through a DCSS-managed word must keep bit 63 clear; the
 // domain asserts this.
+//
+// Memory orders (policy `O`, default RingOrders): the protocol has three
+// release/acquire pairings, annotated at each site in sync/dcss.cpp —
+//   (a) descriptor activation: the owner's field stores are published by
+//       the seqlock-style release store of `seq` (odd), observed by every
+//       helper's acquire `seq` loads bracketing its field snapshot;
+//   (b) the decision: whoever decides read *a2 after observing the marker
+//       in *a1 (owner: its own acq_rel install CAS; helper: the acquire
+//       load that surfaced the marker), so the winning decider's *a2 read
+//       lies inside the marker window — the operation's linearization
+//       point. The decision value travels through the `decision` word
+//       (release CAS, acquire loads).
+//   (c) resolution: the final CAS replacing the marker releases n1 (or
+//       e1) to every acquire read() of *a1.
+// The window argument in (b) leans on per-location coherence for the *a2
+// freshness (exact on multi-copy-atomic hardware; see
+// sync/memory_order.hpp) — MEMBQ_SEQCST_RINGS restores the formally
+// seq_cst decision of the pre-audit code.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 
+#include "sync/memory_order.hpp"
+
 namespace membq {
 
-class DcssDomain {
+template <class O = RingOrders>
+class BasicDcssDomain {
  public:
   static constexpr std::size_t kDefaultMaxThreads = 64;
   // The marker encodes the slot in 15 bits (see make_marker).
   static constexpr std::size_t kMaxSlots = std::size_t{1} << 15;
   static constexpr std::uint64_t kMarkerBit = std::uint64_t{1} << 63;
 
-  explicit DcssDomain(std::size_t max_threads = kDefaultMaxThreads);
-  ~DcssDomain();
+  explicit BasicDcssDomain(std::size_t max_threads = kDefaultMaxThreads);
+  ~BasicDcssDomain();
 
-  DcssDomain(const DcssDomain&) = delete;
-  DcssDomain& operator=(const DcssDomain&) = delete;
+  BasicDcssDomain(const BasicDcssDomain&) = delete;
+  BasicDcssDomain& operator=(const BasicDcssDomain&) = delete;
 
   std::size_t max_threads() const noexcept { return max_threads_; }
 
@@ -52,7 +73,7 @@ class DcssDomain {
   // lifetime; at most max_threads() handles may be live at once.
   class ThreadHandle {
    public:
-    explicit ThreadHandle(DcssDomain& domain);
+    explicit ThreadHandle(BasicDcssDomain& domain);
     ~ThreadHandle();
 
     ThreadHandle(const ThreadHandle&) = delete;
@@ -63,7 +84,7 @@ class DcssDomain {
               std::uint64_t e2) noexcept;
 
    private:
-    DcssDomain& domain_;
+    BasicDcssDomain& domain_;
     std::size_t slot_;
   };
 
@@ -109,5 +130,12 @@ class DcssDomain {
   Descriptor* descriptors_;
   std::atomic<bool>* slot_used_;
 };
+
+// Both policies are explicitly instantiated in sync/dcss.cpp; the alias
+// picks the build default (see sync/memory_order.hpp).
+extern template class BasicDcssDomain<RelaxedOrders>;
+extern template class BasicDcssDomain<SeqCstOrders>;
+
+using DcssDomain = BasicDcssDomain<>;
 
 }  // namespace membq

@@ -6,41 +6,57 @@
 // been stored to since the matching ll(), even if the value round-tripped
 // back (ABA). The emulation surcharge is the 8-byte stamp per cell, which
 // the overhead tables report separately from the algorithmic overhead.
+//
+// Memory orders (policy `O`, default RingOrders):
+//   * ll(): acquire — pairs with the release half of a successful sc(),
+//     so a Link whose stamp is observed carries happens-before from the
+//     thread that published that stamp (who publishes: any successful
+//     sc(); who observes: every later ll()/validate()).
+//   * sc(): acq_rel on success — release publishes the new (stamp, value)
+//     to future ll()s, acquire orders the sc after whatever the caller
+//     read to decide on `desired`. Relaxed on failure: a failed sc means
+//     the link is stale; callers re-ll() and discard the observation.
+//   * validate(): acquire — same pairing as ll(); a true verdict means
+//     no sc() release intervened up to that read.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "sync/memory_order.hpp"
+
 namespace membq {
 
-class LLSCCell {
+template <class O = RingOrders>
+class BasicLLSCCell {
  public:
   struct Link {
     std::uint64_t value;
     std::uint64_t stamp;
   };
 
-  explicit LLSCCell(std::uint64_t initial = 0) noexcept {
-    word_.store(Word{0, initial}, std::memory_order_relaxed);
+  explicit BasicLLSCCell(std::uint64_t initial = 0) noexcept {
+    // Pre-publication store: the cell is handed to other threads only
+    // after construction.
+    word_.store(Word{0, initial}, O::init);
   }
 
-  LLSCCell(const LLSCCell&) = delete;
-  LLSCCell& operator=(const LLSCCell&) = delete;
+  BasicLLSCCell(const BasicLLSCCell&) = delete;
+  BasicLLSCCell& operator=(const BasicLLSCCell&) = delete;
 
   Link ll() const noexcept {
-    const Word w = word_.load(std::memory_order_acquire);
+    const Word w = word_.load(O::acquire);
     return Link{w.value, w.stamp};
   }
 
   bool sc(const Link& link, std::uint64_t desired) noexcept {
     Word expected{link.stamp, link.value};
     return word_.compare_exchange_strong(
-        expected, Word{link.stamp + 1, desired}, std::memory_order_acq_rel,
-        std::memory_order_acquire);
+        expected, Word{link.stamp + 1, desired}, O::acq_rel, O::relaxed);
   }
 
   bool validate(const Link& link) const noexcept {
-    return word_.load(std::memory_order_acquire).stamp == link.stamp;
+    return word_.load(O::acquire).stamp == link.stamp;
   }
 
   std::uint64_t peek() const noexcept { return ll().value; }
@@ -57,5 +73,8 @@ class LLSCCell {
   };
   std::atomic<Word> word_;
 };
+
+// Build-selected default realization (see sync/memory_order.hpp).
+using LLSCCell = BasicLLSCCell<>;
 
 }  // namespace membq

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -34,6 +35,7 @@
 #include "adversary/history.hpp"
 #include "adversary/linearizability.hpp"
 #include "common/barrier.hpp"
+#include "workload/driver.hpp"
 
 namespace membq {
 namespace model {
@@ -43,12 +45,21 @@ enum class Values {
   kRepeating,  // tiny alphabet; stresses expected-side ABA on cells
 };
 
-// xorshift64: the same tiny deterministic generator the other suites use.
+// Per-thread operation restriction for role-contract queues (the SPSC/
+// MPSC/SPMC rings may only ever see one producer and/or one consumer
+// thread; handing them the unrestricted mixed recorder would break their
+// contract, not test it).
+enum class Role {
+  kBoth,      // unrestricted MPMC thread (the default)
+  kProducer,  // enqueue-only
+  kConsumer,  // dequeue-only
+};
+
+// xorshift64: the same deterministic generator the other suites use —
+// delegated to the workload driver's definition so a tweak there cannot
+// silently break cross-suite seed-replay parity.
 inline std::uint64_t next_rng(std::uint64_t& s) noexcept {
-  s ^= s << 13;
-  s ^= s >> 7;
-  s ^= s << 17;
-  return s;
+  return workload::detail::xorshift64(s);
 }
 
 // Single-handle exactness: `ops` random operations (enqueue-biased, so
@@ -108,11 +119,15 @@ void check_against_model(Q& q, std::size_t capacity, std::uint64_t seed,
 // atomic clock stamps invocation and response instants; the recorded
 // partial order is what the Wing–Gong checker must find a linearization
 // for. Keep threads*ops_per_thread <= 63 (the checker's exact-DFS limit).
+// `roles` (empty = unrestricted) assigns each thread a Role, so the
+// role-contract rings can be recorded without breaking their contract.
 template <class Q>
 adversary::History record_history(Q& q, std::size_t threads,
                                   std::size_t ops_per_thread,
                                   std::uint64_t seed,
-                                  Values values = Values::kDistinct) {
+                                  Values values = Values::kDistinct,
+                                  const std::vector<Role>& roles = {}) {
+  assert(roles.empty() || roles.size() == threads);
   std::atomic<std::size_t> clock{0};
   std::vector<std::vector<adversary::Operation>> per_thread(threads);
   SpinBarrier barrier(threads);
@@ -120,13 +135,17 @@ adversary::History record_history(Q& q, std::size_t threads,
   for (std::size_t tid = 0; tid < threads; ++tid) {
     workers.emplace_back([&, tid] {
       typename Q::Handle h(q);
+      const Role role = roles.empty() ? Role::kBoth : roles[tid];
       std::uint64_t rng = seed ^ (0x9e3779b97f4a7c15ull * (tid + 1));
       std::uint64_t seq = 0;
       barrier.arrive_and_wait();
       for (std::size_t i = 0; i < ops_per_thread; ++i) {
         adversary::Operation op;
         op.thread = static_cast<int>(tid);
-        if ((next_rng(rng) & 1) != 0) {
+        const bool coin = (next_rng(rng) & 1) != 0;
+        const bool do_enqueue =
+            role == Role::kProducer || (role == Role::kBoth && coin);
+        if (do_enqueue) {
           op.kind = adversary::OpKind::kEnqueue;
           op.value = values == Values::kDistinct
                          ? (((tid + 1) << 8) | seq++)
@@ -155,17 +174,19 @@ adversary::History record_history(Q& q, std::size_t threads,
 }
 
 // Record one history per seed on a fresh queue from `make` and assert
-// every one linearizes against the bounded-queue spec.
+// every one linearizes against the bounded-queue spec. `roles` restricts
+// per-thread operations for the role-contract rings (empty = MPMC).
 template <class MakeQueue>
 void expect_linearizable_histories(MakeQueue make, std::size_t capacity,
                                    std::size_t threads,
                                    std::size_t ops_per_thread,
                                    std::initializer_list<std::uint64_t> seeds,
-                                   Values values = Values::kDistinct) {
+                                   Values values = Values::kDistinct,
+                                   const std::vector<Role>& roles = {}) {
   for (std::uint64_t seed : seeds) {
     auto q = make();
     const auto hist =
-        record_history(*q, threads, ops_per_thread, seed, values);
+        record_history(*q, threads, ops_per_thread, seed, values, roles);
     const auto res = adversary::check_bounded_queue(hist, capacity);
     ASSERT_FALSE(res.history_too_large) << "seed " << seed;
     EXPECT_TRUE(res.linearizable) << "seed " << seed;

@@ -1,0 +1,300 @@
+// Seeded litmus/stress suite for the relaxed ring memory orders — one
+// named scenario per relaxed pairing (see sync/memory_order.hpp and the
+// per-site annotations in the queue headers). Every scenario fails with
+// the site name on violation, via litmus_harness.hpp's HandoffLedger.
+//
+// The suite runs natively (real hardware orderings) and in CI's TSan job
+// (race detection over the same schedules). Scenarios pinned to
+// RelaxedOrders / SeqCstOrders run in every build regardless of the
+// MEMBQ_SEQCST_RINGS default, so neither policy can bit-rot.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/role_rings.hpp"
+#include "baselines/scq_ring.hpp"
+#include "baselines/spsc_ring.hpp"
+#include "baselines/vyukov_queue.hpp"
+#include "common/barrier.hpp"
+#include "litmus_harness.hpp"
+#include "queues/dcss_queue.hpp"
+#include "queues/distinct_queue.hpp"
+#include "queues/llsc_queue.hpp"
+#include "sync/dcss.hpp"
+#include "sync/llsc.hpp"
+#include "sync/memory_order.hpp"
+
+namespace {
+
+using membq::litmus::Schedule;
+using membq::litmus::stress_handoff;
+
+constexpr std::uint64_t kSeeds[] = {0xA11CE, 0xB0B5EED, 0xC0FFEE};
+
+// ---- L2: distinct(versioned-⊥) ring --------------------------------------
+
+// Message passing through the ring: the enqueue CAS's release must make
+// the value visible to the dequeue's acquire cell load in order. With one
+// producer and one consumer the ledger's per-consumer check is exact
+// global FIFO.
+TEST(LitmusTest, L2VersionPublishToObserve) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::DistinctQueue q(4);
+    stress_handoff("L2 version publish->observe", q, 1, 1, 4000, seed);
+  }
+}
+
+// Capacity-2 ring under 4x4 traffic: the ring wraps every other ticket,
+// so ⊥ versions are reused constantly — the round number inside ⊥ is the
+// only thing rejecting a stale wrapped enqueue (expected-side ABA).
+TEST(LitmusTest, L2VersionReuseWrapAba) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::DistinctQueue q(2);
+    stress_handoff("L2 bot-version reuse/ABA", q, 4, 4, 1200, seed);
+  }
+}
+
+// ---- L3: LL/SC cell + ring ----------------------------------------------
+
+// sc() must be atomic against every load-linked snapshot: N threads each
+// complete K successful ll/sc increments; any lost or doubled sc leaves
+// the counter off by the difference.
+TEST(LitmusTest, L3LlscScAtomicIncrement) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kIncrementsEach = 2000;
+  for (const std::uint64_t seed : kSeeds) {
+    membq::LLSCCell cell(0);
+    membq::SpinBarrier barrier(kThreads);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        Schedule sch(seed, t);
+        barrier.arrive_and_wait();
+        for (std::uint64_t i = 0; i < kIncrementsEach; ++i) {
+          for (;;) {
+            const auto link = cell.ll();
+            sch.step();  // widen the ll->sc window
+            if (cell.sc(link, link.value + 1)) break;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    ASSERT_EQ(cell.peek(), kThreads * kIncrementsEach)
+        << "L3 ll/sc atomic increment: lost/doubled store-conditional "
+        << "(seed " << seed << ")";
+  }
+}
+
+// Deterministic validate pairing: after a foreign sc() lands, both
+// validate() and sc() on the stale link must fail — the acquire in
+// ll()/validate() against the foreign sc's release is what carries the
+// stamp change across threads.
+TEST(LitmusTest, L3LlscValidateAfterForeignSc) {
+  membq::LLSCCell cell(5);
+  membq::SpinBarrier barrier(2);
+  bool foreign_sc_ok = false;
+  bool stale_validate = true;
+  bool stale_sc = true;
+  std::thread a([&] {
+    const auto link = cell.ll();
+    barrier.arrive_and_wait();  // let B store while we hold the link
+    barrier.arrive_and_wait();  // B's sc happens-before this point
+    stale_validate = cell.validate(link);
+    stale_sc = cell.sc(link, 7);
+  });
+  std::thread b([&] {
+    barrier.arrive_and_wait();
+    const auto link = cell.ll();
+    foreign_sc_ok = cell.sc(link, 42);
+    barrier.arrive_and_wait();
+  });
+  a.join();
+  b.join();
+  ASSERT_TRUE(foreign_sc_ok) << "L3 validate: uncontended foreign sc failed";
+  EXPECT_FALSE(stale_validate)
+      << "L3 validate: stale link validated after a foreign sc";
+  EXPECT_FALSE(stale_sc)
+      << "L3 validate: stale link's sc landed after a foreign sc";
+  EXPECT_EQ(cell.peek(), 42u);
+}
+
+// Capacity-2 LL/SC ring under 4x4 wrap traffic: the stamp (not a version
+// number) is the only stale-enqueue rejection.
+TEST(LitmusTest, L3RingTicketHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::LlscQueue q(2);
+    stress_handoff("L3 ll/sc ring handoff", q, 4, 4, 1200, seed);
+  }
+}
+
+// ---- L4: DCSS descriptor publication + ring ------------------------------
+
+// Descriptor install/helping must give exactly-once semantics: writers
+// race dcss increments on one word (helpers resolve each other's
+// markers); the final value must equal the number of successful dcss
+// calls, and a concurrent reader must never observe a marker or a value
+// going backwards. Phase 2 checks the second comparand: after the
+// condition word flips (happens-before via the barrier), a dcss expecting
+// the old condition must fail.
+TEST(LitmusTest, L4DcssDescriptorInstallExactlyOnce) {
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kAttemptsEach = 1500;
+  for (const std::uint64_t seed : kSeeds) {
+    membq::DcssDomain domain(kWriters + 1);
+    std::atomic<std::uint64_t> w1{0};
+    std::atomic<std::uint64_t> cond{0};
+    membq::SpinBarrier barrier(kWriters + 1);
+    std::vector<std::uint64_t> successes(kWriters, 0);
+    // One byte per writer, not vector<bool>: packed bits written by
+    // different threads would themselves be a data race.
+    std::vector<std::uint8_t> stale_cond_failed(kWriters, 0);
+    std::atomic<bool> reader_ok{true};
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> writers;
+    for (std::size_t t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        membq::DcssDomain::ThreadHandle th(domain);
+        Schedule sch(seed, t);
+        barrier.arrive_and_wait();
+        for (std::uint64_t i = 0; i < kAttemptsEach; ++i) {
+          const std::uint64_t cur = domain.read(&w1);
+          sch.step();  // widen the read->dcss window
+          if (th.dcss(&w1, cur, cur + 1, &cond, 0)) ++successes[t];
+        }
+        barrier.arrive_and_wait();  // phase 1 done
+        barrier.arrive_and_wait();  // main flipped cond to 1
+        // The flip happens-before this attempt, so the decision's read
+        // of the second comparand must see it: the dcss must fail.
+        const std::uint64_t cur = domain.read(&w1);
+        stale_cond_failed[t] = !th.dcss(&w1, cur, cur + 1, &cond, 0);
+      });
+    }
+    std::thread reader([&] {
+      membq::DcssDomain::ThreadHandle th(domain);  // unused slot headroom
+      std::uint64_t last = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t v = domain.read(&w1);
+        if ((v & membq::DcssDomain::kMarkerBit) != 0 || v < last) {
+          reader_ok.store(false, std::memory_order_release);
+          break;
+        }
+        last = v;
+      }
+    });
+
+    barrier.arrive_and_wait();  // start phase 1
+    barrier.arrive_and_wait();  // phase 1 done
+    cond.store(1);              // flip the second comparand
+    barrier.arrive_and_wait();  // release phase 2
+    for (auto& w : writers) w.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    std::uint64_t total = 0;
+    for (const auto s : successes) total += s;
+    ASSERT_EQ(w1.load(), total)
+        << "L4 DCSS descriptor install: successes and increments disagree "
+        << "(helper resolved a marker twice or dropped one; seed " << seed
+        << ")";
+    ASSERT_TRUE(reader_ok.load())
+        << "L4 DCSS read: marker leaked or value went backwards (seed "
+        << seed << ")";
+    for (std::size_t t = 0; t < kWriters; ++t) {
+      EXPECT_TRUE(stale_cond_failed[t])
+          << "L4 DCSS second comparand: dcss succeeded against a "
+          << "happened-before condition flip (writer " << t << ", seed "
+          << seed << ")";
+    }
+  }
+}
+
+// Capacity-2 DCSS ring under 4x4 wrap traffic: the second comparand on
+// the positioning counter is the only stale-enqueue rejection (single
+// unversioned ⊥).
+TEST(LitmusTest, L4RingHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::DcssQueue q(2, /*max_threads=*/9);
+    stress_handoff("L4 dcss ring handoff", q, 4, 4, 1200, seed);
+  }
+}
+
+// ---- Baselines: SCQ cycle handoff, Vyukov ticket-vs-slot ----------------
+
+// Capacity-2 cycle-tagged ring: state 2r -> 2r+1 -> 2(r+1) handoffs wrap
+// every other ticket; a cycle-tag CAS observed out of order duplicates or
+// loses a slot.
+TEST(LitmusTest, ScqCycleHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::ScqRing q(2);
+    stress_handoff("SCQ cycle handoff", q, 4, 4, 1200, seed);
+  }
+}
+
+// Vyukov's value word is NOT atomic: the seq release/acquire pairing is
+// the only thing keeping the plain cell.value access race-free. A torn
+// or early value read surfaces as an invented value in the ledger (and
+// as a plain data race under TSan).
+TEST(LitmusTest, VyukovTicketVsSlotVisibility) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::VyukovQueue q(2);
+    stress_handoff("Vyukov ticket-vs-slot visibility", q, 4, 4, 1200, seed);
+  }
+}
+
+// ---- Role rings (contracts: single consumer / single producer) ----------
+
+TEST(LitmusTest, MpscRoleRingHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::MpscRing q(4);
+    stress_handoff("MPSC ring handoff", q, 4, 1, 1500, seed);
+  }
+}
+
+TEST(LitmusTest, SpmcRoleRingHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::SpmcRing q(4);
+    stress_handoff("SPMC ring handoff", q, 1, 4, 4000, seed);
+  }
+}
+
+TEST(LitmusTest, SpscLamportHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::SpscRing q(4);
+    stress_handoff("SPSC Lamport handoff", q, 1, 1, 5000, seed);
+  }
+}
+
+// ---- Policy pinning: both order policies run in every build -------------
+
+// Pinned to the audited relaxed policy even under MEMBQ_SEQCST_RINGS, so
+// the relaxed orders stay covered in the fallback CI job too.
+TEST(LitmusTest, RelaxedPolicyPinnedHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::BasicDistinctQueue<membq::RelaxedOrders> q(2);
+    stress_handoff("pinned acq-rel distinct ring", q, 4, 4, 800, seed);
+  }
+  {
+    membq::BasicScqRing<membq::RelaxedOrders> q(2);
+    stress_handoff("pinned acq-rel scq ring", q, 4, 4, 800, kSeeds[0]);
+  }
+}
+
+// Pinned to the seq_cst escape hatch in default builds: the fallback the
+// MEMBQ_SEQCST_RINGS option selects can never stop compiling or passing.
+TEST(LitmusTest, SeqCstFallbackPinnedHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::BasicDistinctQueue<membq::SeqCstOrders> q(2);
+    stress_handoff("pinned seq-cst distinct ring", q, 4, 4, 800, seed);
+  }
+  {
+    membq::BasicDcssQueue<membq::SeqCstOrders> q(2, /*max_threads=*/9);
+    stress_handoff("pinned seq-cst dcss ring", q, 4, 4, 800, kSeeds[0]);
+  }
+}
+
+}  // namespace

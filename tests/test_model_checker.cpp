@@ -18,7 +18,9 @@
 
 #include "baselines/michael_scott.hpp"
 #include "baselines/mutex_ring.hpp"
+#include "baselines/role_rings.hpp"
 #include "baselines/scq_ring.hpp"
+#include "baselines/spsc_ring.hpp"
 #include "baselines/vyukov_queue.hpp"
 #include "core/lockfree_optimal_queue.hpp"
 #include "core/optimal_queue.hpp"
@@ -186,6 +188,106 @@ TEST(ModelCheckerTest, RecordedHistoriesLinearizableRepeatingValues) {
     if (row.distinct_values_only) continue;
     SCOPED_TRACE(row.name);
     row.run_histories(2, 3, 6, {41, 42}, Values::kRepeating);
+  }
+}
+
+// ---- Role rings (SPSC / MPSC / SPMC) ------------------------------------
+//
+// Not registry rows (the registry drives unrestricted MPMC mixes, which
+// their role contracts forbid), so the CoversEveryRegistryQueue guard
+// cannot see them — this is the coverage gap PR 4 carved out. They get
+// the same two attack angles here, with Role-restricted recording:
+// exactly one consumer thread for MPSC, one producer for SPMC, one of
+// each for SPSC.
+
+using membq::model::Role;
+
+struct RoleRow {
+  std::string name;
+  std::function<void(std::size_t cap, std::uint64_t seed, std::size_t ops,
+                     Values values)>
+      run_model;
+  std::function<void(std::size_t cap, std::size_t ops_per_thread,
+                     std::initializer_list<std::uint64_t> seeds,
+                     Values values)>
+      run_histories;
+};
+
+template <class Q, class MakeFn>
+RoleRow make_role_row(std::string name, MakeFn make,
+                      std::vector<Role> roles) {
+  RoleRow row;
+  row.name = name;
+  // Single handle = one thread holding both roles: within every role
+  // contract, and exactly the sequential-spec replay the MPMC rows get.
+  row.run_model = [make](std::size_t cap, std::uint64_t seed,
+                         std::size_t ops, Values values) {
+    auto q = make(cap);
+    membq::model::check_against_model(*q, cap, seed, ops, values);
+  };
+  row.run_histories = [make, roles](
+                          std::size_t cap, std::size_t ops_per_thread,
+                          std::initializer_list<std::uint64_t> seeds,
+                          Values values) {
+    membq::model::expect_linearizable_histories(
+        [&] { return make(cap); }, cap, roles.size(), ops_per_thread, seeds,
+        values, roles);
+  };
+  return row;
+}
+
+std::vector<RoleRow> role_rows() {
+  std::vector<RoleRow> rows;
+  rows.push_back(make_role_row<membq::SpscRing>(
+      "spsc(lamport)",
+      [](std::size_t c) { return std::make_unique<membq::SpscRing>(c); },
+      {Role::kProducer, Role::kConsumer}));
+  rows.push_back(make_role_row<membq::MpscRing>(
+      "mpsc(ring)",
+      [](std::size_t c) { return std::make_unique<membq::MpscRing>(c); },
+      {Role::kConsumer, Role::kProducer, Role::kProducer}));
+  rows.push_back(make_role_row<membq::SpmcRing>(
+      "spmc(ring)",
+      [](std::size_t c) { return std::make_unique<membq::SpmcRing>(c); },
+      {Role::kProducer, Role::kConsumer, Role::kConsumer}));
+  return rows;
+}
+
+TEST(ModelCheckerTest, RoleRingsSingleHandleMatchDequeModel) {
+  for (const auto& row : role_rows()) {
+    SCOPED_TRACE(row.name);
+    for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+      row.run_model(4, seed, 4000, Values::kDistinct);
+    }
+    row.run_model(16, 21, 6000, Values::kDistinct);
+    // No distinct-values contract on any role ring: repeating values are
+    // legal inputs and stress the wrapped-slot paths.
+    for (std::uint64_t seed : {31ull, 32ull}) {
+      row.run_model(2, seed, 3000, Values::kRepeating);
+    }
+  }
+}
+
+TEST(ModelCheckerTest, RoleRingsRecordedHistoriesLinearizable) {
+  for (const auto& row : role_rows()) {
+    SCOPED_TRACE(row.name);
+    row.run_histories(2, 6, {1, 2, 3}, Values::kDistinct);
+    row.run_histories(2, 6, {41, 42}, Values::kRepeating);
+  }
+}
+
+// The role-ring list above must cover exactly the role-contract rings the
+// benches drive (bench_throughput's E12 series) — a rename or addition
+// there without model coverage here fails, mirroring the registry guard.
+TEST(ModelCheckerTest, CoversEveryRoleRing) {
+  std::set<std::string> covered;
+  for (const auto& row : role_rows()) covered.insert(row.name);
+  for (const char* name :
+       {membq::SpscRing::kName, membq::MpscRing::kName,
+        membq::SpmcRing::kName}) {
+    EXPECT_TRUE(covered.count(name))
+        << "role ring '" << name
+        << "' has no model-checker row in test_model_checker.cpp";
   }
 }
 

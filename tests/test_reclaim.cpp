@@ -327,6 +327,45 @@ TEST(LockFreeSegmentTest, LeakFreeAfterChurnHp) {
       << "segment churn must not leak through the HP domain";
 }
 
+// Regression (ISSUE 5 satellite): the destructor walks head_->next->...
+// with acquire loads paired against the appenders' release CAS — it used
+// to use relaxed loads, which only happened to be safe because callers
+// join every worker (a full happens-before) before destroying. The chain
+// here is left long and populated at destruction (many tiny segments
+// appended by racing threads, nothing dequeued), so a walk that missed a
+// published next pointer would leak whole segments and trip the counting
+// allocator.
+template <class Domain>
+void destructor_walks_full_chain() {
+  auto& alloc = membq::AllocCounter::instance();
+  const std::size_t live_before = alloc.live_bytes();
+  {
+    // capacity 256, seg_size 2: a full queue is a ~128-segment chain.
+    membq::LockFreeSegmentQueue<Domain> q(256, 2, 4);
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < 4; ++t) {
+      workers.emplace_back([&q, t] {
+        typename membq::LockFreeSegmentQueue<Domain>::Handle h(q);
+        for (std::uint64_t i = 0; i < 64; ++i) {
+          h.try_enqueue((t << 32) | (i + 1));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    // Destructor runs here with the chain still full of elements.
+  }
+  EXPECT_EQ(alloc.live_bytes(), live_before)
+      << "destructor failed to walk (and free) the full segment chain";
+}
+
+TEST(LockFreeSegmentTest, DestructorWalksFullChainEbr) {
+  destructor_walks_full_chain<EpochDomain>();
+}
+
+TEST(LockFreeSegmentTest, DestructorWalksFullChainHp) {
+  destructor_walks_full_chain<HazardDomain>();
+}
+
 TEST(LockFreeSegmentTest, LeakFreeAfterChurnNoReclaim) {
   auto& alloc = membq::AllocCounter::instance();
   const std::size_t live_before = alloc.live_bytes();
