@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "baselines/vyukov_queue.hpp"
 #include "common/barrier.hpp"
 #include "common/clock.hpp"
+#include "harness.hpp"
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
 #include "queues/llsc_queue.hpp"
@@ -21,8 +23,13 @@
 
 namespace {
 
+struct CasResult {
+  double mops;
+  double attempts_per_op;
+};
+
 template <typename Policy>
-double contended_cas_mops(std::size_t threads, std::uint64_t per_thread) {
+CasResult contended_cas_mops(std::size_t threads, std::uint64_t per_thread) {
   std::atomic<std::uint64_t> counter{0};
   std::atomic<std::uint64_t> attempts{0};
   membq::SpinBarrier barrier(threads + 1);
@@ -51,10 +58,12 @@ double contended_cas_mops(std::size_t threads, std::uint64_t per_thread) {
   membq::Stopwatch watch;
   for (auto& w : workers) w.join();
   const double secs = watch.elapsed_s();
-  std::printf("    attempts/op = %.3f\n",
-              static_cast<double>(attempts.load()) /
-                  static_cast<double>(threads * per_thread));
-  return static_cast<double>(threads * per_thread) / secs / 1e6;
+  CasResult r;
+  r.attempts_per_op = static_cast<double>(attempts.load()) /
+                      static_cast<double>(threads * per_thread);
+  r.mops = static_cast<double>(threads * per_thread) / secs / 1e6;
+  std::printf("    attempts/op = %.3f\n", r.attempts_per_op);
+  return r;
 }
 
 struct NoPolicy {
@@ -81,24 +90,31 @@ double hot_pair_mops(Q& q, std::uint64_t iters) {
   }
   const double secs = watch.elapsed_s();
   // Keep the dequeued values observable so the loop cannot be elided.
-  __asm__ __volatile__("" ::"r"(out));
+  membq::bench::keep(out);
   return 2.0 * static_cast<double>(iters) / secs / 1e6;
 }
 
 template <template <class> class Q>
-void fence_ablation_row(const char* name, std::uint64_t iters) {
+void fence_ablation_row(membq::bench::Harness& harness, const char* name,
+                        std::uint64_t iters) {
   Q<membq::RelaxedOrders> relaxed(64);
   Q<membq::SeqCstOrders> seqcst(64);
   const double a = hot_pair_mops(relaxed, iters);
   const double s = hot_pair_mops(seqcst, iters);
   std::printf("  %-22s %8.2f Mops/s   %8.2f Mops/s   %+6.1f%%\n", name, a, s,
               (a / s - 1.0) * 100.0);
+  harness.record(std::string("fence/") + name)
+      .param("queue", name)
+      .metric("acq_rel_mops", a)
+      .metric("seq_cst_mops", s)
+      .metric("delta_pct", (a / s - 1.0) * 100.0);
 }
 
 // The primitive-level number behind the rows above: the cost of a plain
 // release store vs a seq_cst store (the dominant saving — e.g. Vyukov's
 // per-op seq publication).
-void store_fence_ablation(std::uint64_t iters) {
+void store_fence_ablation(membq::bench::Harness& harness,
+                          std::uint64_t iters) {
   std::atomic<std::uint64_t> x{0};
   membq::Stopwatch w1;
   for (std::uint64_t i = 0; i < iters; ++i) {
@@ -112,24 +128,44 @@ void store_fence_ablation(std::uint64_t iters) {
   const double sc = static_cast<double>(iters) / w2.elapsed_s() / 1e6;
   std::printf("  %-22s %8.2f Mst/s    %8.2f Mst/s    %+6.1f%%\n",
               "atomic store (rel/sc)", rel, sc, (rel / sc - 1.0) * 100.0);
+  harness.record("fence/atomic-store")
+      .metric("release_msts", rel)
+      .metric("seq_cst_msts", sc)
+      .metric("delta_pct", (rel / sc - 1.0) * 100.0);
 }
 
 }  // namespace
 
-int main() {
-  constexpr std::uint64_t kPerThread = 100000;
+int main(int argc, char** argv) {
+  membq::bench::Harness harness("backoff_ablation", argc, argv);
+  const std::uint64_t kPerThread = harness.ops(100000);
   std::printf("=== ablation: backoff policy on a contended CAS counter ===\n");
-  for (std::size_t threads : {1, 2, 4, 8}) {
+  for (std::size_t threads : harness.threads({1, 2, 4, 8})) {
     std::printf("T=%zu\n", threads);
     std::printf("  exponential backoff:\n");
-    const double a = contended_cas_mops<membq::Backoff>(threads, kPerThread);
-    std::printf("    %.2f Mops/s\n", a);
+    const CasResult a =
+        contended_cas_mops<membq::Backoff>(threads, kPerThread);
+    std::printf("    %.2f Mops/s\n", a.mops);
     std::printf("  yield only (NoBackoff):\n");
-    const double b = contended_cas_mops<membq::NoBackoff>(threads, kPerThread);
-    std::printf("    %.2f Mops/s\n", b);
+    const CasResult b =
+        contended_cas_mops<membq::NoBackoff>(threads, kPerThread);
+    std::printf("    %.2f Mops/s\n", b.mops);
     std::printf("  no policy (raw spin):\n");
-    const double c = contended_cas_mops<NoPolicy>(threads, kPerThread);
-    std::printf("    %.2f Mops/s\n", c);
+    const CasResult c = contended_cas_mops<NoPolicy>(threads, kPerThread);
+    std::printf("    %.2f Mops/s\n", c.mops);
+    const std::string suffix = "/T=" + std::to_string(threads);
+    harness.record("backoff/exponential" + suffix)
+        .param("threads", static_cast<std::uint64_t>(threads))
+        .metric("mops", a.mops)
+        .metric("attempts_per_op", a.attempts_per_op);
+    harness.record("backoff/yield-only" + suffix)
+        .param("threads", static_cast<std::uint64_t>(threads))
+        .metric("mops", b.mops)
+        .metric("attempts_per_op", b.attempts_per_op);
+    harness.record("backoff/raw-spin" + suffix)
+        .param("threads", static_cast<std::uint64_t>(threads))
+        .metric("mops", c.mops)
+        .metric("attempts_per_op", c.attempts_per_op);
   }
   std::printf(
       "\nOn a multi-core box raw spinning collapses as T grows while the\n"
@@ -137,16 +173,18 @@ int main() {
       "policies dominate because a failed CAS there means the winner holds\n"
       "the only CPU.\n");
 
-  constexpr std::uint64_t kFenceIters = 400000;
+  const std::uint64_t kFenceIters = harness.ops(400000);
   std::printf(
       "\n=== ablation: ring memory orders, uncontended hot path "
       "(build default: %s) ===\n"
       "  %-22s %-17s %-17s %s\n",
       membq::RingOrders::kName, "queue", "acq-rel", "seq-cst", "delta");
-  fence_ablation_row<membq::BasicDistinctQueue>("distinct(L2)", kFenceIters);
-  fence_ablation_row<membq::BasicLlscQueue>("llsc(L3)", kFenceIters);
-  fence_ablation_row<membq::BasicScqRing>("scq(faa-ring)", kFenceIters);
-  fence_ablation_row<membq::BasicVyukovQueue>("vyukov(perslot-seq)",
+  fence_ablation_row<membq::BasicDistinctQueue>(harness, "distinct(L2)",
+                                                kFenceIters);
+  fence_ablation_row<membq::BasicLlscQueue>(harness, "llsc(L3)", kFenceIters);
+  fence_ablation_row<membq::BasicScqRing>(harness, "scq(faa-ring)",
+                                          kFenceIters);
+  fence_ablation_row<membq::BasicVyukovQueue>(harness, "vyukov(perslot-seq)",
                                               kFenceIters);
   {
     membq::BasicDcssQueue<membq::RelaxedOrders> relaxed(64, 2);
@@ -155,12 +193,17 @@ int main() {
     const double s = hot_pair_mops(seqcst, kFenceIters / 4);
     std::printf("  %-22s %8.2f Mops/s   %8.2f Mops/s   %+6.1f%%\n",
                 "dcss(L4)", a, s, (a / s - 1.0) * 100.0);
+    harness.record("fence/dcss(L4)")
+        .param("queue", "dcss(L4)")
+        .metric("acq_rel_mops", a)
+        .metric("seq_cst_mops", s)
+        .metric("delta_pct", (a / s - 1.0) * 100.0);
   }
-  store_fence_ablation(kFenceIters * 4);
+  store_fence_ablation(harness, kFenceIters * 4);
   std::printf(
       "\nThe delta column is what implicit seq_cst was costing each ring's\n"
       "enqueue+dequeue pair; the store row isolates the per-publication\n"
       "fence the relaxation removes (see sync/memory_order.hpp and the\n"
       "per-site annotations in the queue headers).\n");
-  return 0;
+  return harness.finish();
 }

@@ -1,74 +1,105 @@
 // E13 — primitive costs: DCSS vs plain CAS vs software LL/SC. Quantifies
 // what the §2 algorithms pay per slot update for their ABA protection.
-// google-benchmark binary.
-
-#include <benchmark/benchmark.h>
+//
+// Single-threaded timing loops: the number of interest is the uncontended
+// per-operation cost of each primitive (the contended behavior is covered
+// by the queue benches and the backoff ablation).
 
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
 
+#include "common/clock.hpp"
+#include "harness.hpp"
 #include "sync/dcss.hpp"
 #include "sync/llsc.hpp"
 
 namespace {
 
-void BM_PlainCas(benchmark::State& state) {
+void report(membq::bench::Harness& h, const char* label, std::uint64_t iters,
+            double secs) {
+  const double mops = static_cast<double>(iters) / secs / 1e6;
+  const double ns_per_op = secs / static_cast<double>(iters) * 1e9;
+  std::printf("  %-28s %10.2f Mops/s  %8.1f ns/op\n", label, mops, ns_per_op);
+  h.record(std::string("e13/") + label)
+      .param("iters", iters)
+      .metric("mops", mops)
+      .metric("ns_per_op", ns_per_op);
+}
+
+void bm_plain_cas(membq::bench::Harness& h, std::uint64_t iters) {
   std::atomic<std::uint64_t> a{0};
   std::uint64_t v = 0;
-  for (auto _ : state) {
+  membq::Stopwatch w;
+  for (std::uint64_t i = 0; i < iters; ++i) {
     std::uint64_t expected = v;
-    benchmark::DoNotOptimize(a.compare_exchange_strong(expected, ++v));
+    const bool ok = a.compare_exchange_strong(expected, ++v);
+    membq::bench::keep(ok);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report(h, "plain-cas", iters, w.elapsed_s());
 }
-BENCHMARK(BM_PlainCas);
 
-void BM_Dcss(benchmark::State& state) {
-  static membq::DcssDomain domain;
+void bm_dcss(membq::bench::Harness& h, std::uint64_t iters) {
+  membq::DcssDomain domain;
   membq::DcssDomain::ThreadHandle th(domain);
   std::atomic<std::uint64_t> a{0};
   std::atomic<std::uint64_t> b{7};
   std::uint64_t v = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(th.dcss(&a, v, v + 1, &b, 7));
+  membq::Stopwatch w;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const bool ok = th.dcss(&a, v, v + 1, &b, 7);
+    membq::bench::keep(ok);
     ++v;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report(h, "dcss", iters, w.elapsed_s());
 }
-BENCHMARK(BM_Dcss);
 
-void BM_DcssFailingSecondComparand(benchmark::State& state) {
-  static membq::DcssDomain domain;
+void bm_dcss_failing_second(membq::bench::Harness& h, std::uint64_t iters) {
+  membq::DcssDomain domain;
   membq::DcssDomain::ThreadHandle th(domain);
   std::atomic<std::uint64_t> a{0};
   std::atomic<std::uint64_t> b{7};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(th.dcss(&a, 0, 1, &b, 99));  // always fails
+  membq::Stopwatch w;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const bool ok = th.dcss(&a, 0, 1, &b, 99);  // always fails
+    membq::bench::keep(ok);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report(h, "dcss-fail-second-comparand", iters, w.elapsed_s());
 }
-BENCHMARK(BM_DcssFailingSecondComparand);
 
-void BM_DcssRead(benchmark::State& state) {
-  static membq::DcssDomain domain;
+void bm_dcss_read(membq::bench::Harness& h, std::uint64_t iters) {
+  membq::DcssDomain domain;
   std::atomic<std::uint64_t> a{42};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(domain.read(&a));
+  membq::Stopwatch w;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    membq::bench::keep(domain.read(&a));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report(h, "dcss-read", iters, w.elapsed_s());
 }
-BENCHMARK(BM_DcssRead);
 
-void BM_LlscPair(benchmark::State& state) {
+void bm_llsc_pair(membq::bench::Harness& h, std::uint64_t iters) {
   membq::LLSCCell cell(0);
   std::uint64_t v = 0;
-  for (auto _ : state) {
+  membq::Stopwatch w;
+  for (std::uint64_t i = 0; i < iters; ++i) {
     const auto link = cell.ll();
-    benchmark::DoNotOptimize(cell.sc(link, ++v));
+    const bool ok = cell.sc(link, ++v);
+    membq::bench::keep(ok);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report(h, "llsc-pair", iters, w.elapsed_s());
 }
-BENCHMARK(BM_LlscPair);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  membq::bench::Harness harness("dcss_primitive", argc, argv);
+  const std::uint64_t kIters = harness.ops(2000000);
+  std::printf("=== E13: primitive costs (uncontended, %llu iters) ===\n",
+              static_cast<unsigned long long>(kIters));
+  bm_plain_cas(harness, kIters);
+  bm_dcss(harness, kIters);
+  bm_dcss_failing_second(harness, kIters);
+  bm_dcss_read(harness, kIters);
+  bm_llsc_pair(harness, kIters);
+  return harness.finish();
+}

@@ -4,29 +4,35 @@
 // show it in p99/p999 first.
 
 #include <cstdio>
+#include <string>
 
+#include "harness.hpp"
 #include "workload/driver.hpp"
 #include "workload/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace membq::workload;
+  membq::bench::Harness harness("latency", argc, argv);
 
-  constexpr std::size_t kCapacity = 1024;
-  constexpr std::size_t kOps = 30000;
+  const std::size_t kCapacity = harness.capacity(1024);
+  const std::size_t kOps = harness.ops(30000);
 
   std::printf("=== E16: op latency percentiles (C = %zu) ===\n", kCapacity);
-  for (std::size_t threads : {1, 4}) {
+  for (std::size_t threads : harness.threads({1, 4})) {
     RunConfig cfg;
     cfg.threads = threads;
     cfg.ops_per_thread = kOps;
-    cfg.mix = Mix::kBalanced;
+    cfg.mix = harness.mix(Mix::kBalanced);
     cfg.prefill = kCapacity / 2;
     cfg.sample_latency = true;
     for (const auto& q : all_queues()) {
       const RunResult r = q.run(kCapacity, cfg);
       std::printf("%s\n", r.format().c_str());
+      harness.record("e16/" + r.queue + "/T=" + std::to_string(threads))
+          .from(r)
+          .param("capacity", static_cast<std::uint64_t>(kCapacity));
     }
     std::printf("\n");
   }
-  return 0;
+  return harness.finish();
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "harness.hpp"
 #include "metrics/overhead.hpp"
 #include "workload/registry.hpp"
 
@@ -51,55 +52,91 @@ const char* claimed_for(const std::string& name) {
   return "?";
 }
 
+void record_rows(membq::bench::Harness& h, const char* sweep,
+                 const std::vector<membq::metrics::OverheadRow>& rows) {
+  for (const auto& r : rows) {
+    h.record(std::string("e9/") + sweep + "/" + r.queue +
+             "/C=" + std::to_string(r.capacity) +
+             "/T=" + std::to_string(r.threads))
+        .param("queue", r.queue)
+        .param("capacity", static_cast<std::uint64_t>(r.capacity))
+        .param("threads", static_cast<std::uint64_t>(r.threads))
+        .metric("overhead_bytes", static_cast<std::uint64_t>(r.overhead_bytes))
+        .metric("aux_bytes", static_cast<std::uint64_t>(r.aux_bytes))
+        .metric("retired_bytes",
+                static_cast<std::uint64_t>(r.retired_bytes));
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using membq::metrics::OverheadRow;
+  membq::bench::Harness harness("memory_overhead", argc, argv);
+
+  // Short mode trims the sweep extremes; the surviving points still span
+  // enough range for the Θ-class inference to separate flat from linear.
+  const std::vector<std::size_t> c_sweep_points =
+      harness.short_mode() ? std::vector<std::size_t>{64, 1024, 4096}
+                           : std::vector<std::size_t>{64, 256, 1024, 4096,
+                                                      16384};
+  const std::vector<std::size_t> t_sweep_points =
+      harness.short_mode() ? std::vector<std::size_t>{2, 8, 32}
+                           : std::vector<std::size_t>{2, 4, 8, 16, 32, 64};
+
+  // One measurement per (queue, point); the printed tables AND the verdict
+  // classification below both read from these vectors.
+  const auto queues = membq::workload::all_queues(/*max_threads=*/64);
+  std::vector<std::vector<OverheadRow>> c_sweeps, t_sweeps;
+  for (const auto& q : queues) {
+    std::vector<OverheadRow> cs, ts;
+    for (std::size_t c : c_sweep_points) cs.push_back(q.overhead(c, 8));
+    for (std::size_t t : t_sweep_points) ts.push_back(q.overhead(1024, t));
+    c_sweeps.push_back(std::move(cs));
+    t_sweeps.push_back(std::move(ts));
+  }
+
   std::printf("=== E9: memory overhead, capacity sweep (T = 8) ===\n");
   std::vector<OverheadRow> all_rows;
-  const auto queues = membq::workload::all_queues(/*max_threads=*/64);
-  for (const auto& q : queues) {
-    for (std::size_t c : {64, 256, 1024, 4096, 16384}) {
-      all_rows.push_back(q.overhead(c, 8));
-    }
+  for (const auto& rows : c_sweeps) {
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
   }
   std::printf("%s\n", membq::metrics::format_table(all_rows).c_str());
+  record_rows(harness, "c-sweep", all_rows);
 
   std::printf("=== E9: memory overhead, thread sweep (C = 1024) ===\n");
   all_rows.clear();
-  for (const auto& q : queues) {
-    for (std::size_t t : {2, 4, 8, 16, 32, 64}) {
-      all_rows.push_back(q.overhead(1024, t));
-    }
+  for (const auto& rows : t_sweeps) {
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
   }
   std::printf("%s\n", membq::metrics::format_table(all_rows).c_str());
+  record_rows(harness, "t-sweep", all_rows);
 
   std::printf("=== E9 verdicts: inferred class vs paper claim ===\n");
   std::printf("%-24s %-14s %-14s %s\n", "queue", "measured", "claimed",
               "match");
-  for (const auto& q : queues) {
-    std::vector<OverheadRow> c_sweep, t_sweep;
-    for (std::size_t c : {64, 256, 1024, 4096, 16384}) {
-      c_sweep.push_back(q.overhead(c, 8));
-    }
-    for (std::size_t t : {2, 4, 8, 16, 32, 64}) {
-      t_sweep.push_back(q.overhead(1024, t));
-    }
-    const auto cls = membq::metrics::classify(c_sweep, t_sweep);
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    const auto cls = membq::metrics::classify(c_sweeps[i], t_sweeps[i]);
     const std::string measured = membq::metrics::to_string(cls);
-    const std::string claimed = claimed_for(q.name);
+    const std::string claimed = claimed_for(queues[i].name);
     // Segment queue's composite class and MS's Θ(n) don't map onto the
     // four simple classes; report them informationally.
     const bool informational =
         claimed == "Theta(C/K+TK)" || claimed == "Theta(n)";
-    std::printf("%-24s %-14s %-14s %s\n", q.name.c_str(), measured.c_str(),
-                claimed.c_str(),
-                informational ? "(composite)"
-                              : (measured == claimed ? "OK" : "MISMATCH"));
+    const bool match = measured == claimed;
+    std::printf("%-24s %-14s %-14s %s\n", queues[i].name.c_str(),
+                measured.c_str(), claimed.c_str(),
+                informational ? "(composite)" : (match ? "OK" : "MISMATCH"));
+    harness.record("e9/verdict/" + queues[i].name)
+        .param("queue", queues[i].name)
+        .param("measured", measured)
+        .param("claimed", claimed)
+        .flag("informational", informational)
+        .flag("match", informational || match);
   }
   std::printf(
       "\nNote: llsc(L3) reports its ALGORITHMIC overhead (the paper's model"
       "\ncharges hardware LL/SC nothing); the software emulation surcharge"
       "\nof 8 bytes/cell is listed separately in the tables above.\n");
-  return 0;
+  return harness.finish();
 }

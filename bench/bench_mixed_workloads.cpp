@@ -4,16 +4,19 @@
 // flips, versioned-⊥ round bumps).
 
 #include <cstdio>
+#include <string>
 
+#include "harness.hpp"
 #include "workload/driver.hpp"
 #include "workload/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace membq::workload;
+  membq::bench::Harness harness("mixed_workloads", argc, argv);
 
-  constexpr std::size_t kCapacity = 1024;
-  constexpr std::size_t kThreads = 4;
-  constexpr std::size_t kOps = 50000;
+  const std::size_t kCapacity = harness.capacity(1024);
+  const std::size_t kThreads = harness.threads({4}).front();
+  const std::size_t kOps = harness.ops(50000);
 
   std::printf("=== E15: workload mixes (C = %zu, T = %zu) ===\n", kCapacity,
               kThreads);
@@ -27,8 +30,11 @@ int main() {
     for (const auto& q : all_queues()) {
       const RunResult r = q.run(kCapacity, cfg);
       std::printf("%s\n", r.format().c_str());
+      harness.record("e15/" + r.queue + "/" + to_string(mix))
+          .from(r)
+          .param("capacity", static_cast<std::uint64_t>(kCapacity));
     }
     std::printf("\n");
   }
-  return 0;
+  return harness.finish();
 }

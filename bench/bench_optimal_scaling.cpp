@@ -2,103 +2,100 @@
 // queue pays Θ(T) time per operation because readElem/findOp scan the
 // T-slot announcement array. We sweep the T parameter (announcement size)
 // with a single active thread, so the growth is pure scan cost, not
-// contention. google-benchmark binary.
+// contention.
+//
+// Controls: op time must NOT grow with C (only with T) for either L5
+// realization, and a Θ(C)-overhead O(1)-time queue (Vyukov) must not grow
+// with anything.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "baselines/vyukov_queue.hpp"
+#include "common/clock.hpp"
 #include "core/lockfree_optimal_queue.hpp"
 #include "core/optimal_queue.hpp"
+#include "harness.hpp"
 
 namespace {
 
-void BM_OptimalEnqDeq_vs_T(benchmark::State& state) {
-  const auto t_param = static_cast<std::size_t>(state.range(0));
-  membq::OptimalQueue q(/*capacity=*/1024, /*max_threads=*/t_param);
-  membq::OptimalQueue::Handle h(q);
+// One enqueue+dequeue pair per iteration on a single handle; reports both
+// throughput and ns per op-pair.
+template <class Q>
+void pair_loop(membq::bench::Harness& h, const std::string& label, Q& q,
+               std::uint64_t iters, std::uint64_t t_param,
+               std::uint64_t capacity) {
+  typename Q::Handle hd(q);
   std::uint64_t v = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(h.try_enqueue(v++));
+  membq::Stopwatch w;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    membq::bench::keep(hd.try_enqueue(v++));
     std::uint64_t out = 0;
-    benchmark::DoNotOptimize(h.try_dequeue(out));
+    membq::bench::keep(hd.try_dequeue(out));
+    membq::bench::keep(out);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
-  state.counters["T"] = static_cast<double>(t_param);
+  const double secs = w.elapsed_s();
+  const double ops = 2.0 * static_cast<double>(iters);
+  const double mops = ops / secs / 1e6;
+  const double ns_per_op = secs / ops * 1e9;
+  std::printf("  %-34s %10.2f Mops/s  %8.1f ns/op\n", label.c_str(), mops,
+              ns_per_op);
+  h.record("e11/" + label)
+      .param("T", t_param)
+      .param("capacity", capacity)
+      .metric("mops", mops)
+      .metric("ns_per_op", ns_per_op);
 }
-BENCHMARK(BM_OptimalEnqDeq_vs_T)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
-
-// The lock-free realization pays the same Θ(T) findOp scan per operation
-// (plus the announcement-record allocation and the DCSS-guarded vacate),
-// so its time must scale with T exactly like the combining row — the
-// memory-class verdict re-checked for the readElem/findOp protocol.
-template <class Domain>
-void BM_LockFreeOptimalEnqDeq_vs_T(benchmark::State& state) {
-  const auto t_param = static_cast<std::size_t>(state.range(0));
-  membq::LockFreeOptimalQueue<Domain> q(/*capacity=*/1024,
-                                        /*max_threads=*/t_param);
-  typename membq::LockFreeOptimalQueue<Domain>::Handle h(q);
-  std::uint64_t v = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(h.try_enqueue(v++));
-    std::uint64_t out = 0;
-    benchmark::DoNotOptimize(h.try_dequeue(out));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
-  state.counters["T"] = static_cast<double>(t_param);
-}
-BENCHMARK_TEMPLATE(BM_LockFreeOptimalEnqDeq_vs_T, membq::reclaim::EpochDomain)
-    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
-BENCHMARK_TEMPLATE(BM_LockFreeOptimalEnqDeq_vs_T, membq::reclaim::HazardDomain)
-    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
-
-// Capacity control for the lock-free row: like the combining row, op time
-// must not grow with C.
-void BM_LockFreeOptimalEnqDeq_vs_C(benchmark::State& state) {
-  const auto capacity = static_cast<std::size_t>(state.range(0));
-  membq::EbrOptimalQueue q(capacity, /*max_threads=*/16);
-  membq::EbrOptimalQueue::Handle h(q);
-  std::uint64_t v = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(h.try_enqueue(v++));
-    std::uint64_t out = 0;
-    benchmark::DoNotOptimize(h.try_dequeue(out));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
-}
-BENCHMARK(BM_LockFreeOptimalEnqDeq_vs_C)
-    ->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
-
-// Control: a Θ(C)-overhead queue with O(1)-time ops does NOT scale with any
-// T parameter — the contrast line for the open question.
-void BM_VyukovEnqDeq_control(benchmark::State& state) {
-  membq::VyukovQueue q(1024);
-  membq::VyukovQueue::Handle h(q);
-  std::uint64_t v = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(h.try_enqueue(v++));
-    std::uint64_t out = 0;
-    benchmark::DoNotOptimize(h.try_dequeue(out));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
-}
-BENCHMARK(BM_VyukovEnqDeq_control);
-
-// The capacity control: optimal queue time must NOT grow with C (only
-// with T) — memory-optimality costs announcement scans, not ring walks.
-void BM_OptimalEnqDeq_vs_C(benchmark::State& state) {
-  const auto capacity = static_cast<std::size_t>(state.range(0));
-  membq::OptimalQueue q(capacity, /*max_threads=*/16);
-  membq::OptimalQueue::Handle h(q);
-  std::uint64_t v = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(h.try_enqueue(v++));
-    std::uint64_t out = 0;
-    benchmark::DoNotOptimize(h.try_dequeue(out));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
-}
-BENCHMARK(BM_OptimalEnqDeq_vs_C)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  membq::bench::Harness harness("optimal_scaling", argc, argv);
+  const std::uint64_t kIters = harness.ops(100000);
+
+  std::printf("=== E11: L5 op cost vs announcement size T "
+              "(single thread, %llu iters) ===\n",
+              static_cast<unsigned long long>(kIters));
+  for (std::size_t t : {1, 4, 16, 64, 256}) {
+    membq::OptimalQueue q(/*capacity=*/1024, /*max_threads=*/t);
+    pair_loop(harness, "optimal(L5)/T=" + std::to_string(t), q, kIters, t,
+              1024);
+  }
+
+  // The lock-free realization pays the same Θ(T) findOp scan per operation
+  // (plus the announcement-record allocation and the DCSS-guarded vacate),
+  // so its time must scale with T exactly like the combining row — the
+  // memory-class verdict re-checked for the readElem/findOp protocol.
+  for (std::size_t t : {1, 4, 16, 64, 256}) {
+    membq::EbrOptimalQueue q(/*capacity=*/1024, /*max_threads=*/t);
+    pair_loop(harness, "optimal(L5,lf,ebr)/T=" + std::to_string(t), q,
+              kIters, t, 1024);
+  }
+  for (std::size_t t : {1, 4, 16, 64, 256}) {
+    membq::HpOptimalQueue q(/*capacity=*/1024, /*max_threads=*/t);
+    pair_loop(harness, "optimal(L5,lf,hp)/T=" + std::to_string(t), q, kIters,
+              t, 1024);
+  }
+
+  std::printf("=== E11 control: op cost vs capacity C "
+              "(must stay flat) ===\n");
+  for (std::size_t c : {16, 256, 4096, 65536}) {
+    membq::OptimalQueue q(c, /*max_threads=*/16);
+    pair_loop(harness, "optimal(L5)/C=" + std::to_string(c), q, kIters, 16,
+              c);
+  }
+  for (std::size_t c : {16, 256, 4096, 65536}) {
+    membq::EbrOptimalQueue q(c, /*max_threads=*/16);
+    pair_loop(harness, "optimal(L5,lf,ebr)/C=" + std::to_string(c), q,
+              kIters, 16, c);
+  }
+
+  // Control: a Θ(C)-overhead queue with O(1)-time ops does NOT scale with
+  // any T parameter — the contrast line for the open question.
+  {
+    membq::VyukovQueue q(1024);
+    pair_loop(harness, "vyukov-control", q, kIters, 0, 1024);
+  }
+  return harness.finish();
+}

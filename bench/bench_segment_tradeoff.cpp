@@ -8,17 +8,21 @@
 //               recycling pool + live chain).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/counting_alloc.hpp"
+#include "harness.hpp"
 #include "queues/segment_queue.hpp"
 #include "workload/driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using membq::AllocCounter;
   using membq::SegmentQueue;
+  membq::bench::Harness harness("segment_tradeoff", argc, argv);
 
-  constexpr std::size_t kThreads = 4;
+  const std::size_t kThreads = harness.threads({4}).front();
+  const std::size_t kOps = harness.ops(20000);
   std::printf(
       "=== E2: segment queue overhead vs segment size K (T = %zu) ===\n",
       kThreads);
@@ -47,7 +51,7 @@ int main() {
         // Churn: drive rounds through the ring so segments recycle.
         membq::workload::RunConfig cfg;
         cfg.threads = kThreads;
-        cfg.ops_per_thread = 20000;
+        cfg.ops_per_thread = kOps;
         cfg.mix = membq::workload::Mix::kBalanced;
         cfg.prefill = c / 2;
         (void)membq::workload::run_workload(q, cfg);
@@ -60,6 +64,13 @@ int main() {
           best_measured = measured;
           best_k = k;
         }
+        harness
+            .record("e2/C=" + std::to_string(c) + "/K=" + std::to_string(k))
+            .param("capacity", static_cast<std::uint64_t>(c))
+            .param("seg_size", static_cast<std::uint64_t>(k))
+            .param("threads", static_cast<std::uint64_t>(kThreads))
+            .metric("predicted_bytes", static_cast<std::uint64_t>(predicted))
+            .metric("measured_bytes", static_cast<std::uint64_t>(measured));
       }
     }
     for (const Row& r : rows) {
@@ -70,6 +81,10 @@ int main() {
     std::printf("  -> measured minimum at K=%zu (paper predicts ~sqrt(C)=%zu;"
                 " same order expected)\n\n",
                 best_k, sqrt_c);
+    harness.record("e2/minimum/C=" + std::to_string(c))
+        .param("capacity", static_cast<std::uint64_t>(c))
+        .metric("best_k", static_cast<std::uint64_t>(best_k))
+        .metric("sqrt_c", static_cast<std::uint64_t>(sqrt_c));
   }
-  return 0;
+  return harness.finish();
 }

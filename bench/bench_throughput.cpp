@@ -14,6 +14,7 @@
 #include "baselines/spsc_ring.hpp"
 #include "baselines/vyukov_queue.hpp"
 #include "common/pinning.hpp"
+#include "harness.hpp"
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
 #include "queues/llsc_queue.hpp"
@@ -26,48 +27,54 @@ namespace {
 // One row of the E10b comparison: run `q` and tag the row with the
 // memory-order policy it was instantiated with.
 template <class Q>
-void print_order_row(Q& q, const membq::workload::RunConfig& cfg,
-                     const char* mode) {
+void order_row(membq::bench::Harness& h, Q& q,
+               const membq::workload::RunConfig& cfg, const char* mode) {
   membq::workload::RunResult r = membq::workload::run_workload(q, cfg);
   r.queue += std::string("[") + mode + "]";
   std::printf("%s\n", r.format().c_str());
+  h.record("e10b/" + r.queue + "/T=" + std::to_string(cfg.threads)).from(r);
 }
 
 // Both policies of one ring template, back to back. The pinned
 // instantiations make the comparison available from a single binary —
 // no MEMBQ_SEQCST_RINGS rebuild needed to see the fence cost.
 template <template <class> class Q>
-void order_pair(std::size_t cap, const membq::workload::RunConfig& cfg) {
+void order_pair(membq::bench::Harness& h, std::size_t cap,
+                const membq::workload::RunConfig& cfg) {
   {
     Q<membq::RelaxedOrders> q(cap);
-    print_order_row(q, cfg, membq::RelaxedOrders::kName);
+    order_row(h, q, cfg, membq::RelaxedOrders::kName);
   }
   {
     Q<membq::SeqCstOrders> q(cap);
-    print_order_row(q, cfg, membq::SeqCstOrders::kName);
+    order_row(h, q, cfg, membq::SeqCstOrders::kName);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace membq::workload;
+  membq::bench::Harness harness("throughput", argc, argv);
 
-  constexpr std::size_t kCapacity = 4096;
-  constexpr std::size_t kOps = 200000;
+  const std::size_t kCapacity = harness.capacity(4096);
+  const std::size_t kOps = harness.ops(200000);
 
   std::printf("=== E10: balanced MPMC throughput (C = %zu, %zu ops/thread, "
               "%zu cpu(s) online) ===\n",
               kCapacity, kOps, membq::online_cpus());
-  for (std::size_t threads : {1, 2, 4, 8}) {
+  for (std::size_t threads : harness.threads({1, 2, 4, 8})) {
     RunConfig cfg;
     cfg.threads = threads;
     cfg.ops_per_thread = kOps / threads;
-    cfg.mix = Mix::kBalanced;
+    cfg.mix = harness.mix(Mix::kBalanced);
     cfg.prefill = kCapacity / 2;
     for (const auto& q : all_queues()) {
       const RunResult r = q.run(kCapacity, cfg);
       std::printf("%s\n", r.format().c_str());
+      harness.record("e10/" + r.queue + "/T=" + std::to_string(threads))
+          .from(r)
+          .param("capacity", static_cast<std::uint64_t>(kCapacity));
     }
     std::printf("\n");
   }
@@ -75,23 +82,23 @@ int main() {
   std::printf("=== E10b: ring memory orders — audited acq-rel vs the \n"
               "    MEMBQ_SEQCST_RINGS escape hatch (build default: %s) ===\n",
               membq::RingOrders::kName);
-  for (std::size_t threads : {1, 2, 4}) {
+  for (std::size_t threads : harness.threads({1, 2, 4})) {
     RunConfig cfg;
     cfg.threads = threads;
     cfg.ops_per_thread = kOps / threads;
-    cfg.mix = Mix::kBalanced;
+    cfg.mix = harness.mix(Mix::kBalanced);
     cfg.prefill = kCapacity / 2;
-    order_pair<membq::BasicDistinctQueue>(kCapacity, cfg);
-    order_pair<membq::BasicLlscQueue>(kCapacity, cfg);
-    order_pair<membq::BasicScqRing>(kCapacity, cfg);
-    order_pair<membq::BasicVyukovQueue>(kCapacity, cfg);
+    order_pair<membq::BasicDistinctQueue>(harness, kCapacity, cfg);
+    order_pair<membq::BasicLlscQueue>(harness, kCapacity, cfg);
+    order_pair<membq::BasicScqRing>(harness, kCapacity, cfg);
+    order_pair<membq::BasicVyukovQueue>(harness, kCapacity, cfg);
     {
       membq::BasicDcssQueue<membq::RelaxedOrders> q(kCapacity, threads + 1);
-      print_order_row(q, cfg, membq::RelaxedOrders::kName);
+      order_row(harness, q, cfg, membq::RelaxedOrders::kName);
     }
     {
       membq::BasicDcssQueue<membq::SeqCstOrders> q(kCapacity, threads + 1);
-      print_order_row(q, cfg, membq::SeqCstOrders::kName);
+      order_row(harness, q, cfg, membq::SeqCstOrders::kName);
     }
     std::printf("\n");
   }
@@ -109,21 +116,25 @@ int main() {
       membq::SpscRing q(kCapacity);
       const RunResult r = run_workload(q, cfg);
       std::printf("%s\n", r.format().c_str());
+      harness.record("e12/" + r.queue).from(r);
     }
     {
       membq::MpscRing q(kCapacity);  // T=2 pairwise: exactly one consumer
       const RunResult r = run_workload(q, cfg);
       std::printf("%s\n", r.format().c_str());
+      harness.record("e12/" + r.queue).from(r);
     }
     {
       membq::SpmcRing q(kCapacity);  // T=2 pairwise: exactly one producer
       const RunResult r = run_workload(q, cfg);
       std::printf("%s\n", r.format().c_str());
+      harness.record("e12/" + r.queue).from(r);
     }
     for (const auto& q : all_queues()) {
       const RunResult r = q.run(kCapacity, cfg);
       std::printf("%s\n", r.format().c_str());
+      harness.record("e12/" + r.queue).from(r);
     }
   }
-  return 0;
+  return harness.finish();
 }

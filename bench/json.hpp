@@ -1,0 +1,151 @@
+// Minimal streaming JSON writer for the bench harness.
+//
+// Deliberately a writer only: the C++ side of the telemetry pipeline emits
+// BENCH_<name>.json and never reads it back — parsing, validation and
+// trajectory comparison live in bench/compare_bench.py, where a schema
+// mismatch is a readable diagnostic instead of a C++ parse error.
+//
+// The writer tracks nesting in a small stack and inserts commas itself, so
+// a bench can stream records as they are produced without buffering the
+// document. Output is deterministic (insertion order, fixed number
+// formatting) so unchanged results produce byte-identical files — which is
+// what lets the committed baselines live in git meaningfully.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+
+namespace membq {
+namespace bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void begin_object() {
+    comma();
+    *out_ += '{';
+    push(/*is_object=*/true);
+  }
+  void end_object() {
+    pop();
+    *out_ += '}';
+  }
+  void begin_array() {
+    comma();
+    *out_ += '[';
+    push(/*is_object=*/false);
+  }
+  void end_array() {
+    pop();
+    *out_ += ']';
+  }
+
+  void key(const char* k) {
+    comma();
+    append_string(k);
+    *out_ += ':';
+    expect_value_ = true;
+  }
+
+  void value(const char* s) {
+    comma();
+    append_string(s);
+  }
+  void value(const std::string& s) { value(s.c_str()); }
+  void value(bool b) {
+    comma();
+    *out_ += b ? "true" : "false";
+  }
+  void value(std::uint64_t v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    *out_ += buf;
+  }
+  void value(double d) {
+    comma();
+    // JSON has no NaN/Inf; a degenerate measurement (e.g. a zero-length
+    // run) becomes 0 rather than an unparsable token.
+    if (!std::isfinite(d)) {
+      *out_ += "0";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    *out_ += buf;
+  }
+
+  template <class V>
+  void kv(const char* k, V v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void push(bool is_object) {
+    frames_ = (frames_ << 2) | (is_object ? 3u : 1u);
+    first_ = true;
+    expect_value_ = false;
+  }
+  void pop() {
+    frames_ >>= 2;
+    first_ = false;
+    expect_value_ = false;
+  }
+
+  void comma() {
+    if (expect_value_) {
+      expect_value_ = false;  // value right after its key: no comma
+      return;
+    }
+    if ((frames_ & 1u) != 0 && !first_) *out_ += ',';
+    first_ = false;
+  }
+
+  void append_string(const char* s) {
+    *out_ += '"';
+    for (; *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      switch (c) {
+        case '"':
+          *out_ += "\\\"";
+          break;
+        case '\\':
+          *out_ += "\\\\";
+          break;
+        case '\n':
+          *out_ += "\\n";
+          break;
+        case '\t':
+          *out_ += "\\t";
+          break;
+        case '\r':
+          *out_ += "\\r";
+          break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            *out_ += buf;
+          } else {
+            *out_ += static_cast<char>(c);
+          }
+      }
+    }
+    *out_ += '"';
+  }
+
+  std::string* out_;
+  // Two bits per nesting level: bit0 = frame open, bit1 = is-object.
+  // 32 levels are far beyond anything the bench schema nests.
+  std::uint64_t frames_ = 0;
+  bool first_ = true;
+  bool expect_value_ = false;
+};
+
+}  // namespace bench
+}  // namespace membq

@@ -24,6 +24,7 @@
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/no_reclaim.hpp"
+#include "telemetry/counters.hpp"
 
 namespace membq {
 
@@ -100,6 +101,7 @@ class MichaelScottQueueT {
   };
 
   bool enqueue(typename Domain::ThreadHandle& h, std::uint64_t v) {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     if (size_.fetch_add(1, std::memory_order_acq_rel) >=
         static_cast<std::uint64_t>(cap_)) {
       size_.fetch_sub(1, std::memory_order_acq_rel);
@@ -122,11 +124,13 @@ class MichaelScottQueueT {
         tail_.compare_exchange_strong(t, n);
         return true;
       }
+      telemetry::count(telemetry::Counter::k_cas_fail);
       tail_.compare_exchange_strong(t, expected);
     }
   }
 
   bool dequeue(typename Domain::ThreadHandle& h, std::uint64_t& out) {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     typename Domain::ThreadHandle::Guard g(h);
     for (;;) {
       Node* hd = h.protect(0, head_);
@@ -149,6 +153,7 @@ class MichaelScottQueueT {
         out = v;
         return true;
       }
+      telemetry::count(telemetry::Counter::k_cas_fail);
     }
   }
 

@@ -10,6 +10,8 @@
 #include <memory>
 #include <mutex>
 
+#include "telemetry/counters.hpp"
+
 namespace membq {
 
 class MutexRing {
@@ -24,6 +26,7 @@ class MutexRing {
   std::size_t capacity() const noexcept { return cap_; }
 
   bool try_enqueue(std::uint64_t v) {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     std::lock_guard<std::mutex> lock(mu_);
     if (tail_ - head_ >= cap_) return false;
     buf_[tail_ % cap_] = v;
@@ -32,6 +35,7 @@ class MutexRing {
   }
 
   bool try_dequeue(std::uint64_t& out) {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     std::lock_guard<std::mutex> lock(mu_);
     if (tail_ <= head_) return false;
     out = buf_[head_ % cap_];

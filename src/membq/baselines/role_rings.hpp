@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sync/memory_order.hpp"
+#include "telemetry/counters.hpp"
 
 namespace membq {
 
@@ -49,6 +50,7 @@ class BasicMpscRing {
   std::size_t capacity() const noexcept { return cap_; }
 
   bool try_enqueue(std::uint64_t v) noexcept {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     // Position hint; see baselines/vyukov_queue.hpp for the pairing notes
     // on this path (identical code).
     std::uint64_t pos = tail_.load(O::relaxed);
@@ -66,6 +68,7 @@ class BasicMpscRing {
           cell.seq.store(pos + 1, O::release);
           return true;
         }
+        telemetry::count(telemetry::Counter::k_cas_fail);
       } else if (dif < 0) {
         return false;
       } else {
@@ -76,6 +79,7 @@ class BasicMpscRing {
 
   // Single consumer: no CAS on the head index.
   bool try_dequeue(std::uint64_t& out) noexcept {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     detail::SeqCell& cell = cells_[head_ % cap_];
     // Acquire against the producer's release: seeing this round's seq
     // makes the plain cell.value read safe.
@@ -128,6 +132,7 @@ class BasicSpmcRing {
 
   // Single producer: no CAS on the tail index.
   bool try_enqueue(std::uint64_t v) noexcept {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     detail::SeqCell& cell = cells_[tail_ % cap_];
     // Acquire against a consumer's release (wrap vacancy).
     if (cell.seq.load(O::acquire) != tail_) return false;
@@ -139,6 +144,7 @@ class BasicSpmcRing {
   }
 
   bool try_dequeue(std::uint64_t& out) noexcept {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     std::uint64_t pos = head_.load(O::relaxed);
     for (;;) {
       detail::SeqCell& cell = cells_[pos % cap_];
@@ -155,6 +161,7 @@ class BasicSpmcRing {
           cell.seq.store(pos + cap_, O::release);
           return true;
         }
+        telemetry::count(telemetry::Counter::k_cas_fail);
       } else if (dif < 0) {
         return false;
       } else {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sync/backoff.hpp"
+#include "telemetry/counters.hpp"
 #include "sync/memory_order.hpp"
 
 namespace membq {
@@ -49,6 +50,7 @@ class BasicScqRing {
   std::size_t capacity() const noexcept { return cap_; }
 
   bool try_enqueue(std::uint64_t v) noexcept {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     Backoff backoff;
     for (;;) {
       // Acquire ticket loads paired with advance()'s release (header).
@@ -65,6 +67,7 @@ class BasicScqRing {
           advance(tail_, t);
           return true;
         }
+        telemetry::count(telemetry::Counter::k_cas_fail);
         backoff.pause();
         continue;
       }
@@ -80,6 +83,7 @@ class BasicScqRing {
   }
 
   bool try_dequeue(std::uint64_t& out) noexcept {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     Backoff backoff;
     for (;;) {
       const std::uint64_t h = head_.load(O::acquire);
@@ -97,6 +101,7 @@ class BasicScqRing {
           out = cur.value;
           return true;
         }
+        telemetry::count(telemetry::Counter::k_cas_fail);
         backoff.pause();
         continue;
       }

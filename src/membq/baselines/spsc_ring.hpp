@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "telemetry/counters.hpp"
+
 namespace membq {
 
 class SpscRing {
@@ -26,6 +28,7 @@ class SpscRing {
 
   // Producer side only.
   bool try_enqueue(std::uint64_t v) noexcept {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     const std::uint64_t t = tail_.load(std::memory_order_relaxed);
     const std::uint64_t h = head_.load(std::memory_order_acquire);
     if (t - h >= cap_) return false;
@@ -36,6 +39,7 @@ class SpscRing {
 
   // Consumer side only.
   bool try_dequeue(std::uint64_t& out) noexcept {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     const std::uint64_t t = tail_.load(std::memory_order_acquire);
     if (t <= h) return false;

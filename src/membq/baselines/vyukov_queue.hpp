@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "sync/memory_order.hpp"
+#include "telemetry/counters.hpp"
 
 namespace membq {
 
@@ -49,6 +50,7 @@ class BasicVyukovQueue {
   std::size_t capacity() const noexcept { return cap_; }
 
   bool try_enqueue(std::uint64_t v) noexcept {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     // Position hint only; staleness is corrected by the CAS below.
     std::uint64_t pos = tail_.load(O::relaxed);
     for (;;) {
@@ -70,6 +72,7 @@ class BasicVyukovQueue {
           return true;
         }
         // pos reloaded by the failed CAS; retry.
+        telemetry::count(telemetry::Counter::k_cas_fail);
       } else if (dif < 0) {
         return false;  // slot still holds the previous round: full
       } else {
@@ -79,6 +82,7 @@ class BasicVyukovQueue {
   }
 
   bool try_dequeue(std::uint64_t& out) noexcept {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     std::uint64_t pos = head_.load(O::relaxed);
     for (;;) {
       Cell& cell = cells_[pos % cap_];
@@ -95,6 +99,7 @@ class BasicVyukovQueue {
           cell.seq.store(pos + cap_, O::release);
           return true;
         }
+        telemetry::count(telemetry::Counter::k_cas_fail);
       } else if (dif < 0) {
         return false;  // slot not yet published: empty
       } else {

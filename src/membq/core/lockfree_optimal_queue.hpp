@@ -64,6 +64,7 @@
 #include "reclaim/hazard.hpp"
 #include "reclaim/no_reclaim.hpp"
 #include "sync/dcss.hpp"
+#include "telemetry/counters.hpp"
 
 namespace membq {
 
@@ -236,6 +237,8 @@ class LockFreeOptimalQueue {
 
   bool run_op(Handle& hd, bool is_enqueue, std::uint64_t arg,
               std::uint64_t& out) {
+    telemetry::count(is_enqueue ? telemetry::Counter::k_enq_attempt
+                                : telemetry::Counter::k_deq_attempt);
     typename Domain::ThreadHandle::Guard g(hd.h_);
     OpRec* rec = new OpRec();
     rec->seq = ticket_.fetch_add(1, std::memory_order_acq_rel);
@@ -269,6 +272,11 @@ class LockFreeOptimalQueue {
     OpRec* rec = slot < max_threads_ ? hd.h_.protect(0, ann_[slot]) : nullptr;
     if (rec != nullptr && (rec->seq & kSeqMask) == (w & kSeqMask)) {
       if (rec->state.load(std::memory_order_acquire) == kPending) {
+        // Helping another thread's announced op is the findOp cost the
+        // telemetry attributes; finishing one's own record is not a help.
+        if (slot != hd.slot_) {
+          telemetry::count(telemetry::Counter::k_findop_help);
+        }
         apply(hd, rec);
       }
       // Never uninstall a record that is still pending: an installed
@@ -302,8 +310,10 @@ class LockFreeOptimalQueue {
     // installation by the seq/state check and uninstall it — no pointer
     // to freed memory ever becomes reachable.
     std::uint64_t expected = kNone;
-    cur_.compare_exchange_strong(expected, pack(best_slot, best_seq),
-                                 std::memory_order_acq_rel);
+    if (!cur_.compare_exchange_strong(expected, pack(best_slot, best_seq),
+                                      std::memory_order_acq_rel)) {
+      telemetry::count(telemetry::Counter::k_cas_fail);
+    }
   }
 
   // Apply an installed record to the ring. Idempotent under any number of
@@ -331,6 +341,7 @@ class LockFreeOptimalQueue {
                                          std::memory_order_acq_rel)) {
           break;
         }
+        telemetry::count(telemetry::Counter::k_cas_fail);
       }
       advance(tail_, t);
       std::uint64_t expected = kPending;

@@ -23,6 +23,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/counters.hpp"
+
 namespace membq {
 
 class OptimalQueue {
@@ -56,11 +58,13 @@ class OptimalQueue {
     Handle& operator=(const Handle&) = delete;
 
     bool try_enqueue(std::uint64_t v) noexcept {
+      telemetry::count(telemetry::Counter::k_enq_attempt);
       std::uint64_t result;
       return q_.announce(slot_, kEnqueue, v, result) == kDone;
     }
 
     bool try_dequeue(std::uint64_t& out) noexcept {
+      telemetry::count(telemetry::Counter::k_deq_attempt);
       std::uint64_t result;
       if (q_.announce(slot_, kDequeue, 0, result) != kDone) return false;
       out = result;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sync/backoff.hpp"
+#include "telemetry/counters.hpp"
 #include "sync/dcss.hpp"
 #include "sync/memory_order.hpp"
 
@@ -57,6 +58,7 @@ class BasicDcssQueue {
 
     bool try_enqueue(std::uint64_t v) noexcept {
       assert(v < kBot && "values must stay below the reserved range");
+      telemetry::count(telemetry::Counter::k_enq_attempt);
       Backoff backoff;
       BasicDcssQueue& q = q_;
       for (;;) {
@@ -74,6 +76,7 @@ class BasicDcssQueue {
             advance(q.tail_, t);
             return true;
           }
+          telemetry::count(telemetry::Counter::k_cas_fail);
           backoff.pause();
           continue;
         }
@@ -83,6 +86,7 @@ class BasicDcssQueue {
     }
 
     bool try_dequeue(std::uint64_t& out) noexcept {
+      telemetry::count(telemetry::Counter::k_deq_attempt);
       Backoff backoff;
       BasicDcssQueue& q = q_;
       for (;;) {
@@ -96,6 +100,7 @@ class BasicDcssQueue {
             out = cur;
             return true;
           }
+          telemetry::count(telemetry::Counter::k_cas_fail);
           backoff.pause();
           continue;
         }

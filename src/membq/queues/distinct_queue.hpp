@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "sync/backoff.hpp"
+#include "telemetry/counters.hpp"
 #include "sync/memory_order.hpp"
 
 namespace membq {
@@ -65,6 +66,7 @@ class BasicDistinctQueue {
 
   bool try_enqueue(std::uint64_t v) noexcept {
     assert((v & kBotBit) == 0 && "values must keep bit 63 clear");
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     Backoff backoff;
     for (;;) {
       // Ticket/limit loads: acquire, paired with advance()'s release (see
@@ -84,11 +86,13 @@ class BasicDistinctQueue {
         // ticket another dequeuer may still serve. (Freshness argument:
         // h is an acquire read of a monotone counter.)
         if (t - h >= cap_) return false;
-        if (bot_round(cur) == round &&
-            cells_[t % cap_].compare_exchange_strong(
-                cur, v, O::acq_rel, O::relaxed)) {
-          advance(tail_, t);
-          return true;
+        if (bot_round(cur) == round) {
+          if (cells_[t % cap_].compare_exchange_strong(cur, v, O::acq_rel,
+                                                       O::relaxed)) {
+            advance(tail_, t);
+            return true;
+          }
+          telemetry::count(telemetry::Counter::k_cas_fail);
         }
         backoff.pause();
         continue;
@@ -100,6 +104,7 @@ class BasicDistinctQueue {
   }
 
   bool try_dequeue(std::uint64_t& out) noexcept {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     Backoff backoff;
     for (;;) {
       // Same pairing as try_enqueue: acquire counter loads against
@@ -119,6 +124,7 @@ class BasicDistinctQueue {
           out = cur;
           return true;
         }
+        telemetry::count(telemetry::Counter::k_cas_fail);
         backoff.pause();
         continue;
       }

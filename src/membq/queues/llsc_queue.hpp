@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sync/backoff.hpp"
+#include "telemetry/counters.hpp"
 #include "sync/llsc.hpp"
 #include "sync/memory_order.hpp"
 
@@ -52,6 +53,9 @@ class BasicLlscQueue {
 
   bool try_enqueue(std::uint64_t v) noexcept {
     assert(v != kBot && "kBot is reserved");
+    // SC misses surface in llsc_sc_fail (counted inside the cell), so
+    // this queue contributes attempts here and retries there.
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     Backoff backoff;
     for (;;) {
       // Acquire ticket loads paired with advance()'s release (header).
@@ -79,6 +83,7 @@ class BasicLlscQueue {
   }
 
   bool try_dequeue(std::uint64_t& out) noexcept {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     Backoff backoff;
     for (;;) {
       const std::uint64_t h = head_.load(O::acquire);

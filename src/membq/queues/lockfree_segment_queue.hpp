@@ -34,6 +34,7 @@
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/no_reclaim.hpp"
+#include "telemetry/counters.hpp"
 
 namespace membq {
 
@@ -169,6 +170,7 @@ class LockFreeSegmentQueue {
   }
 
   bool enqueue(typename Domain::ThreadHandle& h, std::uint64_t v) {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     assert((v & kEmpty) == 0 && "bit 63 is reserved for slot encodings");
     if (size_.fetch_add(1, std::memory_order_acq_rel) >=
         static_cast<std::uint64_t>(cap_)) {
@@ -191,6 +193,7 @@ class LockFreeSegmentQueue {
                   std::memory_order_acquire)) {
             return true;
           }
+          telemetry::count(telemetry::Counter::k_cas_fail);
           continue;  // an impatient dequeuer poisoned the slot; next ticket
         }
         // fetch_add overshot past the end; fall through to the slow path.
@@ -217,11 +220,13 @@ class LockFreeSegmentQueue {
         return true;
       }
       Segment::destroy(s);  // lost the append race; s was never published
+      telemetry::count(telemetry::Counter::k_cas_fail);
       tail_.compare_exchange_strong(t, expected);
     }
   }
 
   bool dequeue(typename Domain::ThreadHandle& h, std::uint64_t& out) {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     typename Domain::ThreadHandle::Guard g(h);
     for (;;) {
       Segment* hd = h.protect(0, head_);

@@ -17,6 +17,8 @@
 #include <mutex>
 #include <new>
 
+#include "telemetry/counters.hpp"
+
 namespace membq {
 
 class SegmentQueue {
@@ -78,6 +80,7 @@ class SegmentQueue {
   }
 
   bool try_enqueue(std::uint64_t v) {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
     std::lock_guard<std::mutex> lock(mu_);
     if (size_ >= cap_) return false;
     if (tail_idx_ == seg_size_) {
@@ -92,6 +95,7 @@ class SegmentQueue {
   }
 
   bool try_dequeue(std::uint64_t& out) {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
     std::lock_guard<std::mutex> lock(mu_);
     if (size_ == 0) return false;
     if (head_idx_ == seg_size_) {

@@ -41,6 +41,7 @@
 #include <stdexcept>
 
 #include "reclaim/reclaim.hpp"
+#include "telemetry/counters.hpp"
 
 namespace membq {
 namespace reclaim {
@@ -187,6 +188,7 @@ class EpochDomain {
     }
 
     void amnesty() {
+      telemetry::count(telemetry::Counter::k_ebr_amnesty);
       domain_.try_advance();
       const std::uint64_t cur =
           domain_.global_epoch_.load(std::memory_order_acquire);
@@ -240,8 +242,10 @@ class EpochDomain {
       if (r != kIdle && r != e) return false;
     }
     std::uint64_t expected = e;
-    return global_epoch_.compare_exchange_strong(expected, e + 1,
-                                                 std::memory_order_seq_cst);
+    const bool advanced = global_epoch_.compare_exchange_strong(
+        expected, e + 1, std::memory_order_seq_cst);
+    if (advanced) telemetry::count(telemetry::Counter::k_epoch_advance);
+    return advanced;
   }
 
   std::size_t acquire_slot() {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "reclaim/reclaim.hpp"
+#include "telemetry/counters.hpp"
 
 namespace membq {
 namespace reclaim {
@@ -176,6 +177,7 @@ class HazardDomain {
     // snapshot does not name. Sorted snapshot + binary search keeps the
     // scan at O(R log H).
     void scan() {
+      telemetry::count(telemetry::Counter::k_hazard_scan);
       std::vector<void*> snapshot;
       snapshot.reserve(domain_.total_slots_);
       for (std::size_t i = 0; i < domain_.total_slots_; ++i) {

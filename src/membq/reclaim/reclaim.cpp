@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "telemetry/counters.hpp"
+
 namespace membq {
 namespace reclaim {
 
@@ -40,6 +42,9 @@ void account_reclaim(std::size_t bytes) noexcept {
   g_retired_bytes.fetch_sub(bytes, std::memory_order_relaxed);
   g_retired_objects.fetch_sub(1, std::memory_order_relaxed);
   g_reclaimed_objects.fetch_add(1, std::memory_order_relaxed);
+  // Every backend (EBR amnesty, HP scan, orphan teardown) funnels its
+  // deleter calls through here — the one place the counter can't miss.
+  telemetry::count(telemetry::Counter::k_reclaimed_node);
 }
 
 void free_record_list(RetiredRecord* head) noexcept {

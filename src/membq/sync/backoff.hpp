@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "telemetry/counters.hpp"
+
 namespace membq {
 
 namespace detail {
@@ -33,8 +35,10 @@ class Backoff {
 
   void pause() noexcept {
     if (limit_ <= kYieldThreshold) {
+      telemetry::count(telemetry::Counter::k_backoff_spin);
       for (std::uint32_t i = 0; i < limit_; ++i) detail::cpu_relax();
     } else {
+      telemetry::count(telemetry::Counter::k_backoff_yield);
       std::this_thread::yield();
     }
     limit_ = std::min(limit_ * 2, kMaxSpins);
@@ -51,7 +55,10 @@ class Backoff {
 };
 
 struct NoBackoff {
-  void pause() noexcept { std::this_thread::yield(); }
+  void pause() noexcept {
+    telemetry::count(telemetry::Counter::k_backoff_yield);
+    std::this_thread::yield();
+  }
   void reset() noexcept {}
 };
 

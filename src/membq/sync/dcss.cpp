@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/counters.hpp"
+
 namespace membq {
 
 namespace {
@@ -69,6 +71,10 @@ void BasicDcssDomain<O>::help(std::uint64_t marker) noexcept {
   // activation is not visible yet — bail; the owner is live and will
   // finish its own operation.
   if (d.seq.load(O::acquire) != seq) return;
+  // Counted after the seq check so dead markers (recycled descriptors)
+  // don't inflate the help count; everything past this line is a real
+  // attempt to drive someone else's operation.
+  telemetry::count(telemetry::Counter::k_dcss_help);
   std::atomic<std::uint64_t>* a1 = d.a1.load(O::relaxed);
   const std::atomic<std::uint64_t>* a2 = d.a2.load(O::relaxed);
   const std::uint64_t e1 = d.e1.load(O::relaxed);
@@ -187,6 +193,7 @@ bool BasicDcssDomain<O>::ThreadHandle::dcss(
 
   bool ok = false;
   if (published) {
+    telemetry::count(telemetry::Counter::k_dcss_owner_resolve);
     // Pairing (b), owner-side decision read: ordered after our own
     // marker-install CAS (acq_rel above), i.e. inside the marker window.
     const std::uint64_t want =

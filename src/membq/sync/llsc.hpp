@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "sync/memory_order.hpp"
+#include "telemetry/counters.hpp"
 
 namespace membq {
 
@@ -51,8 +52,12 @@ class BasicLLSCCell {
 
   bool sc(const Link& link, std::uint64_t desired) noexcept {
     Word expected{link.stamp, link.value};
-    return word_.compare_exchange_strong(
+    const bool ok = word_.compare_exchange_strong(
         expected, Word{link.stamp + 1, desired}, O::acq_rel, O::relaxed);
+    // A failed SC is exactly a validation miss: the stamp moved between
+    // the matching ll() and here.
+    if (!ok) telemetry::count(telemetry::Counter::k_llsc_sc_fail);
+    return ok;
   }
 
   bool validate(const Link& link) const noexcept {

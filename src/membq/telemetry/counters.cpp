@@ -1,0 +1,115 @@
+#include "telemetry/counters.hpp"
+
+#include <mutex>
+#include <new>
+
+namespace membq {
+namespace telemetry {
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+#define MEMBQ_TELEMETRY_NAME(name) \
+  case Counter::k_##name:          \
+    return #name;
+    MEMBQ_TELEMETRY_COUNTERS(MEMBQ_TELEMETRY_NAME)
+#undef MEMBQ_TELEMETRY_NAME
+    case Counter::kCount:
+      break;
+  }
+  return "?";
+}
+
+#if defined(MEMBQ_TELEMETRY) && MEMBQ_TELEMETRY
+
+namespace {
+
+// Live per-thread blocks plus the folded totals of exited threads. A
+// plain mutex is fine: the hot path never touches the registry — only
+// thread birth/death, snapshot() and reset() do.
+//
+// The registry never touches the heap: membership is the intrusive list
+// through ThreadCounters, and the singleton is placement-constructed in
+// static storage. The repo's counting allocator replaces global
+// operator new, so any telemetry allocation would be misattributed to
+// the queue under measurement (and trip the reclaim leak tests).
+struct Registry {
+  std::mutex mu;
+  detail::ThreadCounters* head = nullptr;
+  CounterSnapshot drained;
+
+  static Registry& instance() {
+    // Never destroyed on purpose: thread_local ThreadCounters destructors
+    // may run during process teardown, after a static Registry would be
+    // gone.
+    alignas(Registry) static unsigned char storage[sizeof(Registry)];
+    static Registry* r = new (storage) Registry();
+    return *r;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+ThreadCounters::ThreadCounters() noexcept {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    v[i].store(0, std::memory_order_relaxed);
+  }
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  next = r.head;
+  if (r.head != nullptr) r.head->prev = this;
+  r.head = this;
+}
+
+ThreadCounters::~ThreadCounters() noexcept {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    r.drained.v[i] += v[i].load(std::memory_order_relaxed);
+  }
+  if (prev != nullptr) prev->next = next;
+  if (next != nullptr) next->prev = prev;
+  if (r.head == this) r.head = next;
+}
+
+ThreadCounters& local() noexcept {
+  static thread_local ThreadCounters tc;
+  return tc;
+}
+
+}  // namespace detail
+
+CounterSnapshot snapshot() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  CounterSnapshot s = r.drained;
+  for (detail::ThreadCounters* tc = r.head; tc != nullptr; tc = tc->next) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      s.v[i] += tc->v[i].load(std::memory_order_relaxed);
+    }
+  }
+  return s;
+}
+
+void reset() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.drained = CounterSnapshot{};
+  for (detail::ThreadCounters* tc = r.head; tc != nullptr; tc = tc->next) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      tc->v[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+#else  // telemetry compiled out: the API stays, the storage does not.
+
+CounterSnapshot snapshot() { return CounterSnapshot{}; }
+
+void reset() {}
+
+#endif
+
+}  // namespace telemetry
+}  // namespace membq

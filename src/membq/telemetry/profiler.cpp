@@ -1,0 +1,70 @@
+#include "telemetry/profiler.hpp"
+
+#include <chrono>
+
+#include "common/clock.hpp"
+#include "common/counting_alloc.hpp"
+#include "reclaim/reclaim.hpp"
+
+namespace membq {
+namespace telemetry {
+
+Profiler::Profiler(std::uint64_t period_us)
+    : period_us_(period_us == 0 ? 1 : period_us) {}
+
+Profiler::~Profiler() { stop(); }
+
+void Profiler::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stopping_ = false;
+  }
+  samples_.clear();
+  thread_ = std::thread([this] { run(); });
+}
+
+void Profiler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  // Final sample so even a run shorter than one period has a data point
+  // (and the series always ends at the run's closing state).
+  samples_.push_back(take_sample());
+}
+
+void Profiler::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    // Sample first, then sleep: the series starts at the run's opening
+    // state rather than one period in.
+    lock.unlock();
+    Sample s = take_sample();
+    lock.lock();
+    if (stopping_) break;
+    samples_.push_back(s);
+    cv_.wait_for(lock, std::chrono::microseconds(period_us_),
+                 [this] { return stopping_; });
+  }
+}
+
+Profiler::Sample Profiler::take_sample() {
+  Sample s;
+  s.t_ns = Stopwatch::now_ns();
+  s.counters = snapshot();
+  s.retired_bytes = reclaim::ReclaimCounter::instance().retired_bytes();
+  s.live_bytes = AllocCounter::instance().live_bytes();
+  return s;
+}
+
+}  // namespace telemetry
+}  // namespace membq

@@ -1,0 +1,61 @@
+// Sampling profiler thread (nam WorkerCounters/ProfilingThread idiom):
+// a background thread snapshots the process counters, the SMR backlog and
+// the live heap at a fixed period into an in-memory time series, so a
+// bench driver can export "what the internals were doing over time"
+// instead of a single end-of-run total.
+//
+// The profiler works in every build: with MEMBQ_TELEMETRY=OFF the counter
+// columns are all zero but the retired/live-bytes series are still real
+// (both counters exist independently of the telemetry option).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "telemetry/counters.hpp"
+
+namespace membq {
+namespace telemetry {
+
+class Profiler {
+ public:
+  struct Sample {
+    std::uint64_t t_ns = 0;  // Stopwatch::now_ns() at sample time
+    CounterSnapshot counters;
+    std::size_t retired_bytes = 0;  // ReclaimCounter backlog
+    std::size_t live_bytes = 0;     // AllocCounter live heap
+  };
+
+  // Sampling period; samples are appended until stop()/destruction.
+  explicit Profiler(std::uint64_t period_us);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  void start();
+  void stop();  // idempotent; joins the sampler and takes a final sample
+
+  // Valid after stop(); one sample is guaranteed even for a zero-length
+  // run (the final sample taken by stop()).
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+ private:
+  void run();
+  static Sample take_sample();
+
+  const std::uint64_t period_us_;
+  std::vector<Sample> samples_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+};
+
+}  // namespace telemetry
+}  // namespace membq

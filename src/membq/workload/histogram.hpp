@@ -85,6 +85,25 @@ class LatencyHistogram {
     return ((static_cast<std::uint64_t>(kSub + sub) + 1) << shift) - 1;
   }
 
+  // Smallest value that lands in bucket idx; with bucket_upper this makes
+  // the bucket ranges a partition of [0, 2^64), which the JSON exporter
+  // relies on (a sample belongs to exactly one exported range).
+  static std::uint64_t bucket_lower(std::size_t idx) noexcept {
+    return idx == 0 ? 0 : bucket_upper(idx - 1) + 1;
+  }
+
+  // Visit every non-empty bucket in value order as (lower, upper, count).
+  // This is the one sanctioned way out of the histogram for exporters:
+  // re-recording the visited (lower, count) pairs into a fresh histogram
+  // reproduces these buckets exactly, which is what makes JSON round-trips
+  // and merge-then-export == export-then-add testable.
+  template <class Visitor>
+  void for_each_bucket(Visitor&& visit) const {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] != 0) visit(bucket_lower(i), bucket_upper(i), buckets_[i]);
+    }
+  }
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t min_ = 0;
