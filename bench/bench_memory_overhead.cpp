@@ -43,6 +43,11 @@ constexpr Claim kClaims[] = {
     // column.
     {"optimal(L5,lf,ebr)", "Theta(T)"},
     {"optimal(L5,lf,hp)", "Theta(T)"},
+    // Sharded rows keep the base row's class: N is a constant, so N
+    // shards of capacity C/N preserve the shape (N×Θ(C/N) = Θ(C); the
+    // segment base keeps its composite class, reported informationally).
+    {"sharded(vyukov,4)", "Theta(C)"},
+    {"sharded(segment-ebr,4)", "Theta(C/K+TK)"},
 };
 
 const char* claimed_for(const std::string& name) {

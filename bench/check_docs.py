@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Docs link and coverage checker. Stdlib only; runs on any python3.
+
+Two checks, both hard failures:
+
+  1. Every relative markdown link in README.md and docs/*.md must
+     resolve to an existing file or directory. External links
+     (http/https/mailto) and pure in-page anchors (#...) are skipped;
+     links that resolve outside the repo root (the CI badge's
+     ../../actions/... path is hosting-relative, not a file) are skipped
+     too, since there is nothing on disk to check.
+
+  2. Every src/membq/*/ subsystem directory must be mentioned in
+     docs/architecture.md (as "name/"), so a new subsystem cannot land
+     without at least its paragraph in the subsystem map.
+
+Usage:
+  check_docs.py [--root DIR]      # defaults to the repo root containing
+                                  # this script's parent directory
+  check_docs.py --self-test
+
+Exit codes: 0 ok, 1 check failure, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# [text](target) and ![alt](target); target up to the first ')' or
+# whitespace (markdown titles like [x](y "t") keep only y).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root):
+    files = []
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        files.append(readme)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def check_links(root, files):
+    """Returns a list of failure strings."""
+    failures = []
+    root = os.path.realpath(root)
+    for path in files:
+        rel_src = os.path.relpath(path, root)
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for m in LINK_RE.finditer(line):
+                    target = m.group(1)
+                    if target.startswith(SKIP_PREFIXES):
+                        continue
+                    target = target.split("#", 1)[0]
+                    if not target:
+                        continue
+                    resolved = os.path.realpath(
+                        os.path.join(os.path.dirname(path), target))
+                    if not (resolved == root
+                            or resolved.startswith(root + os.sep)):
+                        continue  # hosting-relative (e.g. the CI badge)
+                    if not os.path.exists(resolved):
+                        failures.append(
+                            "%s:%d: broken link %r (resolves to %s)" %
+                            (rel_src, lineno, target,
+                             os.path.relpath(resolved, root)))
+    return failures
+
+
+def check_architecture_coverage(root):
+    """Returns a list of failure strings."""
+    arch_path = os.path.join(root, "docs", "architecture.md")
+    if not os.path.isfile(arch_path):
+        return ["docs/architecture.md is missing"]
+    with open(arch_path, "r", encoding="utf-8") as f:
+        arch = f.read()
+    src = os.path.join(root, "src", "membq")
+    if not os.path.isdir(src):
+        return ["src/membq/ is missing"]
+    failures = []
+    for name in sorted(os.listdir(src)):
+        if not os.path.isdir(os.path.join(src, name)):
+            continue
+        if (name + "/") not in arch:
+            failures.append(
+                "docs/architecture.md does not mention subsystem %r "
+                "(expected the string %r)" % ("src/membq/" + name, name + "/"))
+    return failures
+
+
+def run(root):
+    files = doc_files(root)
+    if not files:
+        print("FAIL: no README.md or docs/*.md found under %s" % root,
+              file=sys.stderr)
+        return 1
+    failures = check_links(root, files)
+    failures += check_architecture_coverage(root)
+    for f in failures:
+        print("FAIL: %s" % f, file=sys.stderr)
+    if failures:
+        return 1
+    print("ok: %d files, links resolve, architecture.md covers src/membq/*"
+          % len(files))
+    return 0
+
+
+# ---- self-test ------------------------------------------------------------
+
+def self_test():
+    import shutil
+    import tempfile
+
+    tmp = tempfile.mkdtemp(prefix="check_docs_selftest_")
+    try:
+        def write(rel, content):
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+
+        os.makedirs(os.path.join(tmp, "src", "membq", "queues"))
+        os.makedirs(os.path.join(tmp, "src", "membq", "sharded"))
+        write("README.md",
+              "[badge](../../actions/workflows/ci.yml)\n"
+              "[arch](docs/architecture.md)\n"
+              "[ext](https://example.com/x.md)\n"
+              "[anchor](#local)\n")
+        write("docs/architecture.md",
+              "covers queues/ and sharded/\n"
+              "[back](../README.md) [sect](architecture.md#subsystem-map)\n")
+        assert check_links(tmp, doc_files(tmp)) == []
+        assert check_architecture_coverage(tmp) == []
+
+        write("docs/broken.md", "[gone](no_such_file.md)\n")
+        fails = check_links(tmp, doc_files(tmp))
+        assert len(fails) == 1 and "no_such_file.md" in fails[0], fails
+        os.remove(os.path.join(tmp, "docs", "broken.md"))
+
+        os.makedirs(os.path.join(tmp, "src", "membq", "newmod"))
+        fails = check_architecture_coverage(tmp)
+        assert len(fails) == 1 and "newmod" in fails[0], fails
+
+        print("self-test: ok")
+        return 0
+    finally:
+        shutil.rmtree(tmp)
+
+
+# ---- CLI ------------------------------------------------------------------
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root",
+                    default=os.path.dirname(
+                        os.path.dirname(os.path.abspath(__file__))),
+                    help="repo root (default: parent of this script's dir)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in fixture suite and exit")
+    args = ap.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    return run(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -149,6 +149,9 @@ class InstrumentedRing {
     // that lands later is a legitimate success and does not count.
     bool first_cas_fired() const noexcept { return first_cas_fired_; }
 
+    // The op's next step is its CAS: the schedules park victims here.
+    bool poised_at_cas() const noexcept { return st_ == St::kCas; }
+
    private:
     enum class St {
       kReadTail,
@@ -239,6 +242,9 @@ class InstrumentedRing {
     OpKind kind() const override { return OpKind::kDequeue; }
     std::uint64_t value() const override { return out_; }
     bool ok() const override { return ok_; }
+
+    // The op's next step is its CAS: the schedules park victims here.
+    bool poised_at_cas() const noexcept { return st_ == St::kCas; }
 
    private:
     enum class St {

@@ -1,0 +1,112 @@
+// Step-machine mirror of the sharded router, for the stealer-vs-owner
+// schedules. Shards are InstrumentedRing<Bottom>s (plain memory, every
+// shared primitive one step), and ShardedDequeueOp reproduces the
+// production router's steal sweep: home shard first, then the others in
+// ring order, empty only after every shard refused. Each outer step
+// grants exactly one inner-ring step, so the adversary can park a stealer
+// one step before its CAS on a victim shard — the poised steal — while
+// the shard's owner consumer and a producer run to completion underneath.
+//
+// What the schedules establish (tests/test_adversary_sharded.cpp):
+// stealing is just a dequeue on the victim shard, so whatever exactly-once
+// guarantee the shard's cell protocol gives against stale dequeue CASes
+// the steal path inherits verbatim. With distinct values (the registry
+// bases' regime) a stale steal CAS can never fire — the cell it re-reads
+// holds a different value — so a steal can neither double-deliver nor
+// strand. The repeating-value control on the same schedule shows the
+// attack is real: re-enqueueing the SAME value revives the poised CAS
+// (expected-side ABA, the Theorem 3.12 weapon) and strands the ticket the
+// stolen value actually belonged to.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adversary/instrumented_rings.hpp"
+#include "adversary/scheduled_execution.hpp"
+
+namespace membq::adversary {
+
+template <class Bottom>
+class InstrumentedSharded {
+ public:
+  using Ring = InstrumentedRing<Bottom>;
+
+  InstrumentedSharded(std::size_t shards, std::size_t per_shard_cap) {
+    assert(shards > 0);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Ring>(per_shard_cap));
+    }
+  }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  Ring& shard(std::size_t i) noexcept { return *shards_[i]; }
+
+  // The router's steal sweep as one SteppedOp: delegate steps to a
+  // per-shard DequeueOp; when the inner op completes empty, move to the
+  // next shard (the hop itself costs no shared-memory step — the
+  // production router's loop bookkeeping is thread-local too).
+  class ShardedDequeueOp : public SteppedOp {
+   public:
+    ShardedDequeueOp(InstrumentedSharded& q, std::size_t home) noexcept
+        : q_(q), home_(home % q.shards_.size()) {
+      inner_ = std::make_unique<typename Ring::DequeueOp>(
+          q_.shard(home_));
+    }
+
+    void step() override {
+      assert(!done_);
+      inner_->step();
+      if (!inner_->complete()) return;
+      if (inner_->ok()) {
+        out_ = inner_->value();
+        ok_ = true;
+        stolen_ = tried_ > 0;
+        done_ = true;
+        return;
+      }
+      ++tried_;
+      if (tried_ == q_.shards_.size()) {  // full sweep refused: empty
+        ok_ = false;
+        done_ = true;
+        return;
+      }
+      inner_ = std::make_unique<typename Ring::DequeueOp>(
+          q_.shard((home_ + tried_) % q_.shards_.size()));
+    }
+
+    bool complete() const override { return done_; }
+    OpKind kind() const override { return OpKind::kDequeue; }
+    std::uint64_t value() const override { return out_; }
+    bool ok() const override { return ok_; }
+
+    // Park point: the CURRENT shard's dequeue is one step from its CAS.
+    bool poised_at_cas() const noexcept { return inner_->poised_at_cas(); }
+
+    // Which shard the op is currently sweeping, and whether the value it
+    // delivered came from a non-home shard (a steal).
+    std::size_t current_shard() const noexcept {
+      return (home_ + tried_) % q_.shards_.size();
+    }
+    bool stole() const noexcept { return ok_ && stolen_; }
+
+   private:
+    InstrumentedSharded& q_;
+    const std::size_t home_;
+    std::unique_ptr<typename Ring::DequeueOp> inner_;
+    std::size_t tried_ = 0;
+    std::uint64_t out_ = 0;
+    bool ok_ = false;
+    bool stolen_ = false;
+    bool done_ = false;
+  };
+
+ private:
+  std::vector<std::unique_ptr<Ring>> shards_;
+};
+
+}  // namespace membq::adversary

@@ -44,7 +44,10 @@ namespace telemetry {
   X(epoch_advance)      /* successful EBR global-epoch advances         */  \
   X(ebr_amnesty)        /* EBR amnesty batches walked                   */  \
   X(hazard_scan)        /* HP full-slot scans                           */  \
-  X(reclaimed_node)     /* objects handed back to a deleter (any SMR)   */
+  X(reclaimed_node)     /* objects handed back to a deleter (any SMR)   */  \
+  X(shard_affinity_hit) /* sharded op served by its handle's home shard */  \
+  X(shard_len_probe)    /* po2 length-estimate probes on the spill path */  \
+  X(shard_steal)        /* sharded dequeues served by a non-home shard  */
 
 enum class Counter : unsigned {
 #define MEMBQ_TELEMETRY_ENUM(name) k_##name,

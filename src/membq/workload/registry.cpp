@@ -17,6 +17,7 @@
 #include "queues/lockfree_segment_queue.hpp"
 #include "queues/segment_queue.hpp"
 #include "reclaim/reclaim.hpp"
+#include "sharded/sharded_queue.hpp"
 #include "sync/llsc.hpp"
 
 namespace membq {
@@ -116,7 +117,7 @@ std::size_t no_aux(std::size_t, std::size_t) { return 0; }
 std::vector<QueueSpec> all_queues(std::size_t max_threads) {
   const std::size_t mt = std::max<std::size_t>(max_threads, 2);
   std::vector<QueueSpec> queues;
-  queues.reserve(13);
+  queues.reserve(15);
 
   queues.push_back(make_spec<OptimalQueue>(
       OptimalQueue::kName, mt,
@@ -214,6 +215,37 @@ std::vector<QueueSpec> all_queues(std::size_t max_threads) {
       MutexRing::kName, mt,
       [](std::size_t c, std::size_t) { return std::make_unique<MutexRing>(c); },
       no_aux));
+
+  // Sharded elastic layer: N shards of a base row behind the affinity /
+  // po2-spill / work-stealing router. Two representative bases — the
+  // fastest Θ(C) ring and the lock-free composite-class segment chain —
+  // so every bench measures the sharding win and its routing overhead.
+  // NOT globally linearizable: these rows carry the relaxed-FIFO contract
+  // (docs/sharding.md) and the model checker applies its relaxed mode.
+  static constexpr std::size_t kShards = 4;
+  queues.push_back(make_spec<sharded::ShardedQueue<VyukovQueue>>(
+      "sharded(vyukov,4)", mt,
+      [](std::size_t c, std::size_t) {
+        return std::make_unique<sharded::ShardedQueue<VyukovQueue>>(
+            c, kShards, [](std::size_t per_shard) {
+              return std::make_unique<VyukovQueue>(per_shard);
+            });
+      },
+      no_aux));
+
+  queues.push_back(
+      make_spec<sharded::ShardedQueue<LockFreeSegmentQueue<reclaim::EpochDomain>>>(
+          "sharded(segment-ebr,4)", mt,
+          [](std::size_t c, std::size_t t) {
+            return std::make_unique<
+                sharded::ShardedQueue<LockFreeSegmentQueue<reclaim::EpochDomain>>>(
+                c, kShards, [t](std::size_t per_shard) {
+                  return std::make_unique<
+                      LockFreeSegmentQueue<reclaim::EpochDomain>>(
+                      per_shard, /*seg_size=*/0, /*max_threads=*/t);
+                });
+          },
+          no_aux));
 
   return queues;
 }

@@ -27,7 +27,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -171,6 +174,191 @@ adversary::History record_history(Q& q, std::size_t threads,
     for (auto& op : ops) hist.ops.push_back(op);
   }
   return hist;
+}
+
+// ---- Relaxed-FIFO mode (sharded rows) ------------------------------------
+//
+// The sharded adapter is deliberately NOT globally linearizable to the
+// bounded FIFO queue spec: its contract (docs/sharding.md) is
+// exactly-once + no-loss + per-shard bounds + per-producer-per-shard
+// FIFO. The two checkers below are that contract made executable; the
+// sharded registry rows run these INSTEAD of the deque replay and the
+// Wing–Gong judgement.
+
+// Single-handle exactness against N reference deques, one per shard. The
+// checker does not predict the router — it observes it through the
+// handle's last_enqueue_shard()/last_dequeue_shard() and holds the queue
+// to what routing it actually chose: a dequeue from shard s must return
+// the front of s's model, an accepted enqueue must land in a shard with
+// room, and single-threaded the full/empty verdicts are exact (a sweep
+// refuses only when every shard refuses).
+template <class SQ>
+void check_sharded_against_model(SQ& q, std::uint64_t seed, std::size_t ops,
+                                 Values values = Values::kDistinct) {
+  typename SQ::Handle h(q);
+  std::vector<std::deque<std::uint64_t>> model(q.shard_count());
+  const std::size_t cap = q.capacity();
+  const std::size_t per_shard = q.per_shard_capacity();
+  std::size_t total = 0;
+  std::uint64_t rng = seed != 0 ? seed : 1;
+  std::uint64_t next_value = 1;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const bool do_enqueue = (next_rng(rng) % 100) < 55;
+    if (do_enqueue) {
+      const std::uint64_t v = values == Values::kDistinct
+                                  ? next_value++
+                                  : 1 + (next_rng(rng) % 3);
+      const bool ok = h.try_enqueue(v);
+      ASSERT_EQ(ok, total < cap)
+          << "op " << i << ": enqueue accepted=" << ok << " with " << total
+          << "/" << cap << " queued (seed " << seed << ")";
+      if (!ok) continue;
+      const std::size_t s = h.last_enqueue_shard();
+      ASSERT_LT(s, model.size()) << "(seed " << seed << ")";
+      ASSERT_LT(model[s].size(), per_shard)
+          << "op " << i << ": enqueue routed to full shard " << s
+          << " (per-shard bound " << per_shard << ", seed " << seed << ")";
+      model[s].push_back(v);
+      ++total;
+    } else {
+      std::uint64_t out = 0;
+      const bool ok = h.try_dequeue(out);
+      ASSERT_EQ(ok, total > 0)
+          << "op " << i << ": dequeue ok=" << ok << " with " << total
+          << " queued (seed " << seed << ")";
+      if (!ok) continue;
+      const std::size_t s = h.last_dequeue_shard();
+      ASSERT_LT(s, model.size()) << "(seed " << seed << ")";
+      ASSERT_FALSE(model[s].empty())
+          << "op " << i << ": dequeue served by empty shard " << s
+          << " (seed " << seed << ")";
+      ASSERT_EQ(out, model[s].front())
+          << "op " << i << ": shard " << s << " broke per-shard FIFO (seed "
+          << seed << ")";
+      model[s].pop_front();
+      --total;
+    }
+  }
+  // Drain: every modeled value must come back, from the shard its model
+  // predicts, and nothing else may appear.
+  std::uint64_t out = 0;
+  while (total > 0) {
+    ASSERT_TRUE(h.try_dequeue(out))
+        << "queue lost " << total << " modeled values (seed " << seed << ")";
+    const std::size_t s = h.last_dequeue_shard();
+    ASSERT_FALSE(model[s].empty()) << "(seed " << seed << ")";
+    ASSERT_EQ(out, model[s].front()) << "(seed " << seed << ")";
+    model[s].pop_front();
+    --total;
+  }
+  ASSERT_FALSE(h.try_dequeue(out))
+      << "queue holds unmodeled value " << out << " (seed " << seed << ")";
+}
+
+// Real-thread relaxed-FIFO check. Each thread logs its operations (with
+// the serving shard); afterwards a drain handle empties the queue. The
+// ledger asserts:
+//   * exactly-once: every dequeued value was enqueued-ok, once;
+//   * no-loss: enqueued-ok count == dequeued + drained count;
+//   * per-producer-per-shard FIFO, projected per consumer: one
+//     consumer's dequeues from one shard must see any single producer's
+//     sequence numbers strictly increasing. (The projection is what a
+//     single observer can soundly order without timestamps; each shard
+//     being linearizable FIFO makes it a theorem, so a violation is a
+//     real routing/steal bug, never checker noise.)
+// `homes` pins each thread's home shard (empty = round-robin), which is
+// how the steal-storm stress homes every consumer on one shard.
+template <class SQ>
+void check_sharded_relaxed_fifo(SQ& q, std::size_t threads,
+                                std::size_t ops_per_thread,
+                                std::uint64_t seed,
+                                const std::vector<Role>& roles = {},
+                                const std::vector<std::size_t>& homes = {}) {
+  assert(roles.empty() || roles.size() == threads);
+  assert(homes.empty() || homes.size() == threads);
+  struct LoggedOp {
+    bool enq;
+    std::uint64_t value;
+    std::size_t shard;
+  };
+  std::vector<std::vector<LoggedOp>> logs(threads + 1);  // +1: drain
+  SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      auto h = homes.empty()
+                   ? typename SQ::Handle(q)
+                   : typename SQ::Handle(q, homes[tid]);
+      const Role role = roles.empty() ? Role::kBoth : roles[tid];
+      std::uint64_t rng = seed ^ (0x9e3779b97f4a7c15ull * (tid + 1));
+      std::uint64_t seq = 0;
+      barrier.arrive_and_wait();
+      for (std::size_t i = 0; i < ops_per_thread; ++i) {
+        const bool coin = (next_rng(rng) & 1) != 0;
+        const bool do_enqueue =
+            role == Role::kProducer || (role == Role::kBoth && coin);
+        if (do_enqueue) {
+          const std::uint64_t v = workload::detail::make_value(tid, seq++);
+          if (h.try_enqueue(v)) {
+            logs[tid].push_back({true, v, h.last_enqueue_shard()});
+          }
+        } else {
+          std::uint64_t out = 0;
+          if (h.try_dequeue(out)) {
+            logs[tid].push_back({false, out, h.last_dequeue_shard()});
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  {
+    typename SQ::Handle h(q);
+    std::uint64_t out = 0;
+    while (h.try_dequeue(out)) {
+      logs[threads].push_back({false, out, h.last_dequeue_shard()});
+    }
+  }
+  // Ledger. Values are (producer tag, seq) — globally distinct.
+  std::set<std::uint64_t> enqueued, dequeued;
+  for (const auto& log : logs) {
+    for (const auto& op : log) {
+      if (op.enq) {
+        ASSERT_TRUE(enqueued.insert(op.value).second)
+            << "duplicate enqueue value (seed " << seed << ")";
+      }
+    }
+  }
+  for (const auto& log : logs) {
+    // (producer, shard) -> last seq seen by THIS consumer from that shard.
+    std::map<std::pair<std::uint64_t, std::size_t>, std::uint64_t> last_seq;
+    for (const auto& op : log) {
+      if (op.enq) continue;
+      ASSERT_TRUE(enqueued.count(op.value))
+          << "dequeued value " << op.value
+          << " that was never enqueued (seed " << seed << ")";
+      ASSERT_TRUE(dequeued.insert(op.value).second)
+          << "value " << op.value << " delivered twice (seed " << seed
+          << ")";
+      const std::uint64_t producer = op.value >> 40;
+      const std::uint64_t s = op.value & ((std::uint64_t{1} << 40) - 1);
+      auto key = std::make_pair(producer, op.shard);
+      auto it = last_seq.find(key);
+      if (it != last_seq.end()) {
+        ASSERT_LT(it->second, s)
+            << "per-producer FIFO broken within shard " << op.shard
+            << ": producer " << producer << " seq " << s << " after "
+            << it->second << " (seed " << seed << ")";
+        it->second = s;
+      } else {
+        last_seq.emplace(key, s);
+      }
+    }
+  }
+  ASSERT_EQ(enqueued.size(), dequeued.size())
+      << "no-loss violated: " << enqueued.size() << " enqueued but "
+      << dequeued.size() << " delivered after the drain (seed " << seed
+      << ")";
 }
 
 // Record one history per seed on a fresh queue from `make` and assert

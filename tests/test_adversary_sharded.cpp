@@ -1,0 +1,156 @@
+// Stealer-vs-owner deterministic schedules for the sharded layer's steal
+// path, on the step-machine router (adversary/instrumented_sharded.hpp).
+//
+// The question the schedules answer: a work-stealing dequeue reads a
+// victim shard's cell, parks (scheduler's choice), and its CAS goes stale
+// while the shard's own consumer and producer keep running. Can the stale
+// steal double-deliver an element, or strand one?
+//
+//   * With distinct values (the regime every registry base runs in): no.
+//     The poised steal's CAS expects the exact value it read; by the time
+//     it is granted, the cell holds a different value (or a ⊥), the CAS
+//     fails, and the stealer retries against live state. Exactly-once and
+//     no-strand hold — the steal is an ordinary dequeue on the victim
+//     shard and inherits its linearizability.
+//   * The repeating-value control shows the schedule has teeth: re-enqueue
+//     the SAME value and the stale CAS revives (expected-side ABA — the
+//     Theorem 3.12 weapon, aimed here at a stealer instead of a helper),
+//     consuming the new ticket's element under the old ticket and
+//     stranding the shard. Distinct values are what the shield is.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "adversary/instrumented_sharded.hpp"
+#include "adversary/scheduled_execution.hpp"
+
+namespace {
+
+using membq::adversary::InstrumentedSharded;
+using membq::adversary::ScheduledExecution;
+using membq::adversary::VersionedBottom;
+
+using Sharded = InstrumentedSharded<VersionedBottom>;
+using Ring = Sharded::Ring;
+
+constexpr int kProducer = 0;
+constexpr int kOwner = 1;
+constexpr int kStealer = 2;
+
+// Drive a stealer (home = shard 1) one step short of its CAS on shard 0's
+// only element. Shard 1 is empty, so the sweep hops there naturally —
+// the park point is reached through the real router logic, not by fiat.
+void park_stealer_at_cas(ScheduledExecution& exec,
+                         Sharded::ShardedDequeueOp& stealer) {
+  exec.invoke(kStealer, stealer);
+  while (!stealer.poised_at_cas()) {
+    ASSERT_FALSE(stealer.complete()) << "stealer finished before parking";
+    exec.step(stealer);
+  }
+  ASSERT_EQ(stealer.current_shard(), 0u) << "poised on the wrong shard";
+}
+
+TEST(AdversaryShardedTest, StaleStealCannotDoubleDeliverDistinctValues) {
+  Sharded q(/*shards=*/2, /*per_shard_cap=*/1);
+  ScheduledExecution exec;
+
+  Ring::EnqueueOp enq_a(q.shard(0), /*v=*/1);
+  exec.run(kProducer, enq_a);
+  ASSERT_TRUE(enq_a.ok());
+
+  Sharded::ShardedDequeueOp stealer(q, /*home=*/1);
+  park_stealer_at_cas(exec, stealer);
+
+  // Owner consumer dequeues the element the stealer is poised on, and the
+  // producer refills the (capacity-1) shard with a DIFFERENT value: the
+  // cell the stealer re-checks now holds 2, not the 1 it expects.
+  Sharded::ShardedDequeueOp owner(q, /*home=*/0);
+  exec.run(kOwner, owner);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(owner.value(), 1u);
+  EXPECT_FALSE(owner.stole());
+
+  Ring::EnqueueOp enq_b(q.shard(0), /*v=*/2);
+  exec.run(kProducer, enq_b);
+  ASSERT_TRUE(enq_b.ok());
+
+  // Grant the poised CAS. It must fail (value mismatch) and the stealer
+  // must retry against live state, legitimately stealing the new element.
+  exec.run(stealer);
+  ASSERT_TRUE(stealer.ok());
+  EXPECT_EQ(stealer.value(), 2u) << "stale steal re-delivered a consumed "
+                                    "element";
+  EXPECT_TRUE(stealer.stole());
+
+  // Exactly-once + no-strand ledger: both values delivered once; nothing
+  // left — a fresh sweep over every shard reports empty.
+  Sharded::ShardedDequeueOp drain(q, /*home=*/0);
+  exec.run(kOwner, drain);
+  EXPECT_FALSE(drain.ok()) << "a value was double-delivered or invented";
+}
+
+TEST(AdversaryShardedTest, RepeatingValueControlRevivesStaleStealAndStrands) {
+  // Same schedule, but the refill REPEATS the stolen value: expected-side
+  // ABA revives the poised CAS. The stealer consumes ticket 1's element
+  // under ticket 0, and the shard strands — it claims an element that no
+  // dequeue can ever extract. This is why the sharded contract (like L2's)
+  // leans on distinct values, and why the production bases (per-slot seq,
+  // segment slot protocol) don't expose a raw value-CAS to the stealer.
+  Sharded q(/*shards=*/2, /*per_shard_cap=*/1);
+  ScheduledExecution exec;
+
+  Ring::EnqueueOp enq_a(q.shard(0), /*v=*/7);
+  exec.run(kProducer, enq_a);
+
+  Sharded::ShardedDequeueOp stealer(q, /*home=*/1);
+  park_stealer_at_cas(exec, stealer);
+
+  Sharded::ShardedDequeueOp owner(q, /*home=*/0);
+  exec.run(kOwner, owner);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(owner.value(), 7u);
+
+  Ring::EnqueueOp enq_a_again(q.shard(0), /*v=*/7);
+  exec.run(kProducer, enq_a_again);
+  ASSERT_TRUE(enq_a_again.ok());
+
+  exec.run(stealer);
+  ASSERT_TRUE(stealer.ok());
+  EXPECT_EQ(stealer.value(), 7u);
+
+  // The attack landed: the ring still claims one element (tail ran ahead
+  // of head) but its cell holds a wrong-round ⊥, so a dequeuer spins on
+  // "enqueue in flight" forever. Bound the probe instead of solo-running
+  // it (a solo run would rightly assert on the livelock).
+  Ring::DequeueOp stranded(q.shard(0));
+  exec.invoke(kOwner, stranded);
+  for (int i = 0; i < 1000 && !stranded.complete(); ++i) {
+    exec.step(stranded);
+  }
+  EXPECT_FALSE(stranded.complete())
+      << "expected the repeated-value control to strand the shard";
+}
+
+TEST(AdversaryShardedTest, StealHappensBeforeEmptyIsReported) {
+  // Steal-before-report-empty: a consumer homed on an empty shard must
+  // sweep the others and take what it finds; only a fully empty sweep may
+  // report empty.
+  Sharded q(/*shards=*/3, /*per_shard_cap=*/2);
+  ScheduledExecution exec;
+
+  Ring::EnqueueOp enq(q.shard(0), /*v=*/9);
+  exec.run(kProducer, enq);
+  ASSERT_TRUE(enq.ok());
+
+  Sharded::ShardedDequeueOp stealer(q, /*home=*/1);
+  exec.run(kStealer, stealer);
+  ASSERT_TRUE(stealer.ok());
+  EXPECT_EQ(stealer.value(), 9u);
+  EXPECT_TRUE(stealer.stole());
+
+  Sharded::ShardedDequeueOp empty(q, /*home=*/1);
+  exec.run(kStealer, empty);
+  EXPECT_FALSE(empty.ok());
+}
+
+}  // namespace

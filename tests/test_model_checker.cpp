@@ -30,6 +30,7 @@
 #include "queues/llsc_queue.hpp"
 #include "queues/lockfree_segment_queue.hpp"
 #include "queues/segment_queue.hpp"
+#include "sharded/sharded_queue.hpp"
 #include "workload/registry.hpp"
 
 namespace {
@@ -78,6 +79,45 @@ ModelRow make_row(std::string name, MakeFn make,
 // Handles per queue instance: one model handle, or `threads` recorder
 // handles — provision a little headroom everywhere.
 constexpr std::size_t kThreads = 8;
+
+// Sharded rows carry the relaxed-FIFO contract, not linearizability
+// (docs/sharding.md): the deque replay becomes the per-shard-deques
+// replay and the Wing–Gong judgement becomes the exactly-once / no-loss
+// / per-producer-per-shard-FIFO ledger. Same two attack angles, the
+// contract the row actually makes.
+template <class Base, class MakeShard>
+ModelRow make_sharded_row(std::string name, MakeShard make_shard) {
+  using SQ = membq::sharded::ShardedQueue<Base>;
+  static constexpr std::size_t kShards = 4;
+  // The runner's tiny caps (2, 4) are meant to hammer the full/empty
+  // boundaries; for a sharded row the boundary lives per shard, so `cap`
+  // scales to a PER-SHARD capacity. That also keeps every shard ≥ 2
+  // slots — per-slot-sequence bases (Vyukov) are unsound at 1 (the
+  // round encodings collide; see sharded_queue.hpp).
+  auto make = [make_shard](std::size_t cap) {
+    return std::make_unique<SQ>(cap * kShards, kShards, make_shard);
+  };
+  ModelRow row;
+  row.name = std::move(name);
+  row.run_model = [make](std::size_t cap, std::uint64_t seed,
+                         std::size_t ops, Values values) {
+    auto q = make(cap);
+    membq::model::check_sharded_against_model(*q, seed, ops, values);
+  };
+  row.run_histories = [make](std::size_t cap, std::size_t threads,
+                             std::size_t ops_per_thread,
+                             std::initializer_list<std::uint64_t> seeds,
+                             Values) {
+    // The relaxed ledger identifies values by (producer, seq), so it
+    // always generates its own distinct values, whatever the mode.
+    for (std::uint64_t seed : seeds) {
+      auto q = make(cap);
+      membq::model::check_sharded_relaxed_fifo(*q, threads,
+                                               ops_per_thread * 64, seed);
+    }
+  };
+  return row;
+}
 
 std::vector<ModelRow> model_rows() {
   using membq::reclaim::EpochDomain;
@@ -136,6 +176,17 @@ std::vector<ModelRow> model_rows() {
   rows.push_back(make_row<membq::MutexRing>(
       "mutex(seq+lock)",
       [](std::size_t c) { return std::make_unique<membq::MutexRing>(c); }));
+  rows.push_back(make_sharded_row<membq::VyukovQueue>(
+      "sharded(vyukov,4)", [](std::size_t per_shard) {
+        return std::make_unique<membq::VyukovQueue>(per_shard);
+      }));
+  rows.push_back(
+      make_sharded_row<membq::LockFreeSegmentQueue<EpochDomain>>(
+          "sharded(segment-ebr,4)", [](std::size_t per_shard) {
+            return std::make_unique<
+                membq::LockFreeSegmentQueue<EpochDomain>>(
+                per_shard, /*seg_size=*/0, kThreads);
+          }));
   return rows;
 }
 

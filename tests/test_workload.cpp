@@ -81,16 +81,17 @@ TEST(WorkloadDriverTest, FormatMentionsQueueAndMix) {
   EXPECT_NE(line.find("Mops/s"), std::string::npos);
 }
 
-TEST(WorkloadRegistryTest, HasTheNinePaperQueuesPlusLockFreeRows) {
+TEST(WorkloadRegistryTest, HasTheNinePaperQueuesPlusLockFreeAndShardedRows) {
   const auto queues = membq::workload::all_queues();
-  ASSERT_EQ(queues.size(), 13u);
+  ASSERT_EQ(queues.size(), 15u);
   std::set<std::string> names;
   for (const auto& q : queues) names.insert(q.name);
   for (const char* expected :
        {"optimal(L5)", "optimal(L5,lf,ebr)", "optimal(L5,lf,hp)",
         "distinct(L2)", "llsc(L3)", "dcss(L4)", "segment(L1)",
         "segment(L1,ebr)", "segment(L1,hp)", "vyukov(perslot-seq)",
-        "scq(faa-ring)", "michael-scott", "mutex(seq+lock)"}) {
+        "scq(faa-ring)", "michael-scott", "mutex(seq+lock)",
+        "sharded(vyukov,4)", "sharded(segment-ebr,4)"}) {
     EXPECT_TRUE(names.count(expected)) << "missing " << expected;
   }
 }
