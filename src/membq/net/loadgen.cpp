@@ -1,0 +1,434 @@
+#include "net/loadgen.hpp"
+
+#include <poll.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/clock.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace membq {
+namespace net {
+
+namespace {
+
+// A phase that makes no progress for this long is a hung run, not
+// backpressure; the thread gives up and reports the error.
+constexpr std::uint64_t kPhaseTimeoutNs = 120ull * 1000 * 1000 * 1000;
+
+// Distinct token, same discipline as workload::detail::make_value: conn
+// id in the high bits, private sequence below, bits 62/63 clear so every
+// queue's reserved encodings stay out of reach.
+std::uint64_t make_token(std::size_t conn, std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(conn + 1) << 40) |
+         (seq & ((std::uint64_t{1} << 40) - 1));
+}
+
+std::uint64_t xorshift64(std::uint64_t& s) noexcept {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+// Fleet-shared drain accounting.
+struct Shared {
+  std::atomic<std::uint64_t> acked{0};     // final after the run barrier
+  std::atomic<std::uint64_t> received{0};  // grows run + drain
+  std::atomic<std::uint64_t> empty_sweeps{0};
+  std::atomic<bool> abort{false};
+};
+
+struct Inflight {
+  std::uint64_t t0_ns;
+  Op op;
+  std::uint16_t want;                 // DEQ request size
+  std::vector<std::uint64_t> tokens;  // ENQ batch, in sent order
+};
+
+// One connection worth of client state.
+class Client {
+ public:
+  Client(const LoadgenConfig& cfg, std::size_t id, Shared& shared)
+      : cfg_(cfg), id_(id), shared_(shared), parser_(Dir::kResponse) {}
+
+  LoadgenResult result;                  // per-thread partial
+  std::vector<std::uint64_t> acked;      // tokens the server took
+  std::vector<std::uint64_t> received;   // tokens the server handed back
+
+  bool connect_and_ping() {
+    sock_ = connect_tcp(cfg_.host, cfg_.port);
+    if (!sock_.valid()) {
+      return fail(std::string("connect failed: ") + std::strerror(errno));
+    }
+    if (!set_nonblocking(sock_.get())) {
+      return fail("cannot set socket nonblocking");
+    }
+    send_simple(Op::kPing, 0);
+    return pump_until_inflight_below(1);
+  }
+
+  // Run phase: issue cfg_.ops_per_conn frames, open-loop paced when a
+  // rate is configured, then settle every outstanding token (the
+  // WOULD_BLOCK retry loop) so `acked` is final before the drain barrier.
+  bool run_phase() {
+    std::uint64_t rng = cfg_.seed ^ (0xD1B54A32D192ED03ull * (id_ + 1));
+    const double per_conn_rate =
+        cfg_.rate_ops_per_sec > 0.0
+            ? cfg_.rate_ops_per_sec / static_cast<double>(cfg_.conns)
+            : 0.0;
+    const std::uint64_t start_ns = Stopwatch::now_ns();
+    for (std::size_t i = 0; i < cfg_.ops_per_conn; ++i) {
+      if (shared_.abort.load(std::memory_order_relaxed)) return false;
+      if (per_conn_rate > 0.0) {
+        // Open loop: the i-th arrival is due at start + i/rate no matter
+        // how the responses are doing (late sends catch up in a burst).
+        const std::uint64_t due =
+            start_ns + static_cast<std::uint64_t>(
+                           static_cast<double>(i) * 1e9 / per_conn_rate);
+        std::uint64_t now = Stopwatch::now_ns();
+        while (now < due) {
+          const std::uint64_t gap = due - now;
+          if (gap > 50000) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(gap / 2));
+          }
+          if (!pump(false)) return false;
+          now = Stopwatch::now_ns();
+        }
+      }
+      if (!pump_until_inflight_below(cfg_.window)) return false;
+      const bool do_enq =
+          !retry_.empty() ||
+          (xorshift64(rng) >> 11) * 0x1.0p-53 < cfg_.enq_ratio;
+      if (do_enq) {
+        if (!send_enq_batch()) return false;
+      } else {
+        send_simple(Op::kDeq, static_cast<std::uint16_t>(cfg_.batch));
+      }
+    }
+    // Settle: every fresh or retried token must be acked before the
+    // barrier — this is the retry path that completes a run against an
+    // undersized queue.
+    const std::uint64_t settle_start = Stopwatch::now_ns();
+    while (!retry_.empty() || !inflight_.empty()) {
+      if (shared_.abort.load(std::memory_order_relaxed)) return false;
+      if (Stopwatch::now_ns() - settle_start > kPhaseTimeoutNs) {
+        return fail("enqueue retries did not settle (tokens stuck)");
+      }
+      if (!retry_.empty() && inflight_.size() < cfg_.window) {
+        if (retry_parked_) {
+          // The whole fleet may be parked on a full queue with nobody
+          // left dequeuing — make room ourselves so retries can land.
+          park();
+          send_simple(Op::kDeq, static_cast<std::uint16_t>(cfg_.batch));
+        }
+        if (!send_enq_batch()) return false;
+      }
+      if (!pump(true)) return false;
+    }
+    return true;
+  }
+
+  // Drain phase: sequential DEQs until the fleet's received count meets
+  // the (now final) acked count, or the fleet-wide empty-sweep budget
+  // runs out (those tokens are lost; the ledger will say so).
+  bool drain_phase() {
+    const std::uint64_t start = Stopwatch::now_ns();
+    while (shared_.received.load(std::memory_order_acquire) <
+           shared_.acked.load(std::memory_order_acquire)) {
+      if (shared_.abort.load(std::memory_order_relaxed)) return false;
+      if (shared_.empty_sweeps.load(std::memory_order_relaxed) >
+          cfg_.drain_empty_limit) {
+        return true;  // give up draining; the ledger reports the loss
+      }
+      if (Stopwatch::now_ns() - start > kPhaseTimeoutNs) {
+        return fail("drain did not settle");
+      }
+      const std::uint64_t before = received.size();
+      send_simple(Op::kDeq, static_cast<std::uint16_t>(cfg_.batch));
+      if (!pump_until_inflight_below(1)) return false;
+      if (received.size() == before) {
+        shared_.empty_sweeps.fetch_add(1, std::memory_order_relaxed);
+        park();
+      } else {
+        shared_.empty_sweeps.store(0, std::memory_order_relaxed);
+      }
+    }
+    return true;
+  }
+
+  bool finish() {
+    // Everything sent has been answered (run settles, drain is
+    // sequential), so this is just the courtesy shutdown.
+    return pump_until_inflight_below(1);
+  }
+
+ private:
+  bool fail(std::string why) {
+    result.error = std::move(why);
+    shared_.abort.store(true, std::memory_order_relaxed);
+    return false;
+  }
+
+  void park() {
+    retry_parked_ = false;
+    if (cfg_.park_us == 0) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg_.park_us));
+    }
+  }
+
+  // ENQ frame from the retry queue first, topped up with fresh tokens.
+  bool send_enq_batch() {
+    std::vector<std::uint64_t> toks;
+    toks.reserve(cfg_.batch);
+    while (toks.size() < cfg_.batch && !retry_.empty()) {
+      toks.push_back(retry_.front());
+      retry_.pop_front();
+    }
+    const bool retrying = !toks.empty();
+    if (!retrying) {
+      while (toks.size() < cfg_.batch) {
+        toks.push_back(make_token(id_, seq_++));
+      }
+    }
+    Inflight fl;
+    fl.op = Op::kEnq;
+    fl.want = static_cast<std::uint16_t>(toks.size());
+    fl.tokens = toks;
+    append_request(out_, Op::kEnq, fl.want, toks.data(), toks.size());
+    fl.t0_ns = Stopwatch::now_ns();
+    inflight_.push_back(std::move(fl));
+    ++result.frames_tx;
+    return flush();
+  }
+
+  void send_simple(Op op, std::uint16_t count) {
+    Inflight fl;
+    fl.op = op;
+    fl.want = count;
+    append_request(out_, op, count, nullptr, 0);
+    fl.t0_ns = Stopwatch::now_ns();
+    inflight_.push_back(std::move(fl));
+    ++result.frames_tx;
+    flush();
+  }
+
+  bool flush() {
+    while (out_pos_ < out_.size()) {
+      const ssize_t w = ::write(sock_.get(), out_.data() + out_pos_,
+                                out_.size() - out_pos_);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return fail(std::string("write failed: ") + std::strerror(errno));
+      }
+      out_pos_ += static_cast<std::size_t>(w);
+    }
+    out_.clear();
+    out_pos_ = 0;
+    return true;
+  }
+
+  // Read and process whatever the socket has; optionally poll() first so
+  // a blocked wait still notices abort within a bounded interval.
+  bool pump(bool block) {
+    if (!flush()) return false;
+    if (block) {
+      pollfd p;
+      p.fd = sock_.get();
+      p.events = POLLIN;
+      if (out_pos_ < out_.size()) p.events |= POLLOUT;
+      const int rc = ::poll(&p, 1, 100);
+      if (rc < 0 && errno != EINTR) {
+        return fail(std::string("poll failed: ") + std::strerror(errno));
+      }
+      if (!flush()) return false;
+    }
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t r = ::read(sock_.get(), buf, sizeof(buf));
+      if (r > 0) {
+        parser_.feed(buf, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r == 0) {
+        return inflight_.empty()
+                   ? true
+                   : fail("server closed with responses outstanding");
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return fail(std::string("read failed: ") + std::strerror(errno));
+    }
+    Frame f;
+    for (;;) {
+      const FrameParser::Result res = parser_.next(f);
+      if (res == FrameParser::Result::kNeedMore) break;
+      if (res == FrameParser::Result::kError) {
+        return fail(std::string("protocol error: ") + parser_.error());
+      }
+      if (!on_response(f)) return false;
+    }
+    return true;
+  }
+
+  bool pump_until_inflight_below(std::size_t n) {
+    const std::uint64_t start = Stopwatch::now_ns();
+    while (inflight_.size() >= n && n > 0) {
+      if (inflight_.empty()) break;
+      if (shared_.abort.load(std::memory_order_relaxed)) return false;
+      if (Stopwatch::now_ns() - start > kPhaseTimeoutNs) {
+        return fail("timed out waiting for responses");
+      }
+      if (!pump(true)) return false;
+    }
+    return true;
+  }
+
+  bool on_response(const Frame& f) {
+    if (inflight_.empty()) {
+      return fail("response with nothing in flight");
+    }
+    Inflight fl = std::move(inflight_.front());
+    inflight_.pop_front();
+    ++result.frames_rx;
+    result.rtt.record(Stopwatch::now_ns() - fl.t0_ns);
+    if (f.status == Status::kBadFrame) {
+      return fail("server reported BAD_FRAME");
+    }
+    if (f.op != fl.op) {
+      return fail("response op does not match the oldest request");
+    }
+    if (f.status == Status::kWouldBlock) ++result.would_block;
+    switch (f.op) {
+      case Op::kEnq: {
+        if (f.count > fl.tokens.size()) {
+          return fail("ENQ ack count exceeds the batch");
+        }
+        for (std::uint16_t i = 0; i < f.count; ++i) {
+          acked.push_back(fl.tokens[i]);
+        }
+        result.enq_acked += f.count;
+        shared_.acked.fetch_add(f.count, std::memory_order_acq_rel);
+        // Unaccepted suffix: back to the retry queue, order preserved
+        // (front of the queue is the oldest refused token).
+        for (std::size_t i = fl.tokens.size(); i-- > f.count;) {
+          retry_.push_front(fl.tokens[i]);
+          ++result.enq_retries;
+        }
+        if (f.count < fl.tokens.size()) retry_parked_ = true;
+        break;
+      }
+      case Op::kDeq: {
+        for (std::uint64_t v : f.values) received.push_back(v);
+        result.deq_received += f.values.size();
+        shared_.received.fetch_add(f.values.size(),
+                                   std::memory_order_acq_rel);
+        break;
+      }
+      case Op::kPing:
+      case Op::kStat:
+        break;
+    }
+    return true;
+  }
+
+  const LoadgenConfig& cfg_;
+  std::size_t id_;
+  Shared& shared_;
+  Fd sock_;
+  FrameParser parser_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_pos_ = 0;
+  std::deque<Inflight> inflight_;
+  std::deque<std::uint64_t> retry_;
+  bool retry_parked_ = false;  // park once before the next retry send
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
+  LoadgenResult total;
+  const std::size_t conns = cfg.conns > 0 ? cfg.conns : 1;
+  Shared shared;
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    clients.push_back(std::make_unique<Client>(cfg, i, shared));
+  }
+
+  // Barrier between the run phase (acked still growing) and the drain
+  // phase (acked final, received must catch up).
+  SpinBarrier run_done(conns);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    threads.emplace_back([&, i] {
+      Client& c = *clients[i];
+      if (!c.connect_and_ping()) {
+        run_done.arrive_and_wait();
+        return;
+      }
+      const bool ran = c.run_phase();
+      run_done.arrive_and_wait();
+      if (!ran) return;
+      if (!c.drain_phase()) return;
+      c.finish();
+    });
+  }
+  for (auto& t : threads) t.join();
+  total.seconds = wall.elapsed_s();
+
+  // Merge the fleet.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      ledger;  // token -> (acked, received)
+  for (const auto& cp : clients) {
+    const Client& c = *cp;
+    total.frames_tx += c.result.frames_tx;
+    total.frames_rx += c.result.frames_rx;
+    total.enq_acked += c.result.enq_acked;
+    total.deq_received += c.result.deq_received;
+    total.would_block += c.result.would_block;
+    total.enq_retries += c.result.enq_retries;
+    total.rtt.merge(c.result.rtt);
+    if (!c.result.error.empty() && total.error.empty()) {
+      total.error = c.result.error;
+    }
+    for (std::uint64_t v : c.acked) ++ledger[v].first;
+    for (std::uint64_t v : c.received) ++ledger[v].second;
+  }
+  for (const auto& kv : ledger) {
+    const std::uint64_t a = kv.second.first, r = kv.second.second;
+    if (a == 0) {
+      total.foreign += r;
+    } else {
+      if (r > a) total.duplicates += r - a;
+      if (a > r) total.lost += a - r;
+    }
+  }
+  total.ledger_ok = total.error.empty() && total.duplicates == 0 &&
+                    total.lost == 0 && total.foreign == 0;
+  total.frames_per_sec =
+      total.seconds > 0.0
+          ? static_cast<double>(total.frames_rx) / total.seconds
+          : 0.0;
+  return total;
+}
+
+}  // namespace net
+}  // namespace membq

@@ -1,0 +1,442 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/clock.hpp"
+#include "net/protocol.hpp"
+#include "telemetry/counters.hpp"
+
+namespace membq {
+namespace net {
+
+namespace {
+
+// One epoll_wait batch per worker iteration; small on purpose — with
+// EPOLLONESHOT a big batch just parks ready connections behind this
+// worker instead of letting an idle one take them.
+constexpr int kEpollBatch = 16;
+constexpr int kWaitMs = 200;       // stop_ flag latency while serving
+constexpr int kDrainWaitMs = 10;   // poll cadence during drain
+
+void park(unsigned us) {
+  if (us == 0) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace
+
+// Per-connection state. With EPOLLONESHOT exactly one worker touches a
+// Conn between arm and re-arm, so none of this needs a lock. The kernel
+// orders the handoff (EPOLL_CTL_MOD happens before the next epoll_wait
+// delivery), but TSan cannot see that edge, so `handoff` carries it
+// explicitly: release-bumped as the last touch before arming, acquired
+// by whichever worker the event wakes next.
+struct Server::Conn {
+  explicit Conn(int fd_in) : fd(fd_in), parser(Dir::kRequest) {}
+
+  int fd;
+  FrameParser parser;
+  std::vector<std::uint8_t> out;  // encoded-but-unsent responses
+  std::size_t out_pos = 0;
+  bool closing = false;  // flush what is owed, then close (bad frame)
+  std::atomic<std::uint32_t> handoff{0};
+};
+
+Server::Server(const ServerConfig& cfg) : cfg_(cfg) {
+  const std::size_t mt =
+      cfg_.max_threads != 0 ? cfg_.max_threads : cfg_.workers + 2;
+  queue_ = workload::make_queue_by_name(cfg_.queue, cfg_.capacity, mt);
+  if (queue_ == nullptr) {
+    throw std::runtime_error("membq_server: unknown queue '" + cfg_.queue +
+                             "' (see workload::queue_names())");
+  }
+  listener_ = make_listener(cfg_.port, port_);
+  if (!listener_.valid()) {
+    throw std::runtime_error(std::string("membq_server: listen failed: ") +
+                             std::strerror(errno));
+  }
+  if (!set_nonblocking(listener_.get())) {
+    throw std::runtime_error("membq_server: cannot set listener nonblocking");
+  }
+  epoll_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    throw std::runtime_error("membq_server: epoll_create1 failed");
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  // Level-triggered + EPOLLEXCLUSIVE: one worker at a time is woken for a
+  // pending accept backlog; data.ptr == nullptr identifies the listener.
+  ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+  ev.data.ptr = nullptr;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) != 0) {
+    throw std::runtime_error("membq_server: epoll_ctl(listener) failed");
+  }
+}
+
+Server::~Server() { stop_and_join(); }
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  const std::size_t n = cfg_.workers > 0 ? cfg_.workers : 1;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void Server::stop_and_join() {
+  request_stop();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Whatever outlived the drain window gets cut off now; no worker is
+  // left, so the set is ours alone.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (Conn* c : conns_) {
+    ::close(c->fd);
+    delete c;
+  }
+  conns_.clear();
+  conn_count_.store(0, std::memory_order_relaxed);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.frames_rx = frames_rx_.load(std::memory_order_relaxed);
+  s.enq_ok = enq_ok_.load(std::memory_order_relaxed);
+  s.deq_ok = deq_ok_.load(std::memory_order_relaxed);
+  s.would_block = would_block_.load(std::memory_order_relaxed);
+  s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  s.conns_accepted = conns_accepted_.load(std::memory_order_relaxed);
+  s.ledger_violations = ledger_violations_.load(std::memory_order_relaxed);
+  s.ledger_outstanding = ledger_outstanding_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---- ledger --------------------------------------------------------------
+// Multiset semantics: offer() increments a value's in-queue count BEFORE
+// the try_enqueue, so by the time any dequeuer can observe the value the
+// count is visible (the queue's own synchronization orders the two);
+// deliver() decrements it. A delivery that finds no count is a violation:
+// the queue handed out a value nobody put in (loss and duplication both
+// surface as exactly this, on the value that was lost/duplicated).
+
+bool Server::ledger_offer(std::uint64_t v) {
+  if (!cfg_.ledger) return true;
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  ++ledger_[v];
+  ledger_outstanding_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Server::ledger_retract(std::uint64_t v) {
+  if (!cfg_.ledger) return;
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  auto it = ledger_.find(v);
+  if (it != ledger_.end() && it->second > 0) {
+    if (--it->second == 0) ledger_.erase(it);
+    ledger_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::ledger_deliver(std::uint64_t v) {
+  if (!cfg_.ledger) return;
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  auto it = ledger_.find(v);
+  if (it == ledger_.end() || it->second == 0) {
+    ledger_violations_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (--it->second == 0) ledger_.erase(it);
+  ledger_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---- event loop ----------------------------------------------------------
+
+void Server::worker_main(std::size_t /*wid*/) {
+  auto handle = queue_->make_handle();
+  std::vector<std::uint8_t> rbuf(64 * 1024);
+  epoll_event evs[kEpollBatch];
+
+  for (;;) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    if (stopping) {
+      remove_listener_once();
+      // Drain clock starts at the first post-stop iteration of any
+      // worker; every worker then honours the same deadline.
+      std::uint64_t expect = 0;
+      drain_deadline_ns_.compare_exchange_strong(
+          expect,
+          Stopwatch::now_ns() +
+              static_cast<std::uint64_t>(cfg_.drain_ms) * 1000000ull,
+          std::memory_order_acq_rel);
+      if (conn_count_.load(std::memory_order_acquire) == 0) break;
+      if (Stopwatch::now_ns() >=
+          drain_deadline_ns_.load(std::memory_order_acquire)) {
+        break;
+      }
+    }
+    const int n = ::epoll_wait(epoll_.get(), evs, kEpollBatch,
+                               stopping ? kDrainWaitMs : kWaitMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      if (evs[i].data.ptr == nullptr) {
+        accept_ready();
+      } else {
+        handle_conn(static_cast<Conn*>(evs[i].data.ptr), evs[i].events,
+                    *handle, rbuf);
+      }
+    }
+  }
+}
+
+// conns_mu_ serializes every epoll registration change against every
+// fd close (and guards the conns_ set and the listener Fd). Without it a
+// worker closing one connection races the worker re-arming another that
+// shares the just-recycled fd number — and TSan flags exactly that
+// close-vs-epoll_ctl window. The critical sections are single syscalls,
+// so the serialization is invisible next to the epoll_wait round-trip.
+
+void Server::remove_listener_once() {
+  if (listener_removed_.exchange(true)) return;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(), nullptr);
+  listener_.reset();  // refuse new connects immediately
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (!listener_.valid()) return;  // stop already retired the listener
+      fd = ::accept4(listener_.get(), nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN — backlog drained
+    }
+    set_nodelay(fd);
+    Conn* c = new Conn(fd);
+    conn_count_.fetch_add(1, std::memory_order_acq_rel);
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+    ev.data.ptr = c;
+    c->handoff.fetch_add(1, std::memory_order_release);
+    bool armed;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.insert(c);
+      armed = ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+    }
+    if (!armed) close_conn(c);
+  }
+}
+
+void Server::rearm(Conn* c) {
+  // Every Conn read happens before the release bump: once the bump is
+  // published and the fd re-armed, the next owner may already be running.
+  const int fd = c->fd;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+  if (c->out_pos < c->out.size()) ev.events |= EPOLLOUT;
+  ev.data.ptr = c;
+  c->handoff.fetch_add(1, std::memory_order_release);
+  bool armed;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    armed = ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+  if (!armed) close_conn(c);
+}
+
+void Server::close_conn(Conn* c) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, c->fd, nullptr);
+    ::close(c->fd);
+    conns_.erase(c);
+  }
+  delete c;
+  conn_count_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool Server::flush_out(Conn* c) {
+  while (c->out_pos < c->out.size()) {
+    const ssize_t w = ::write(c->fd, c->out.data() + c->out_pos,
+                              c->out.size() - c->out_pos);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // pending
+      return false;
+    }
+    c->out_pos += static_cast<std::size_t>(w);
+  }
+  c->out.clear();
+  c->out_pos = 0;
+  return true;
+}
+
+void Server::handle_conn(Conn* c, std::uint32_t events,
+                         workload::DynQueue::Handle& h,
+                         std::vector<std::uint8_t>& rbuf) {
+  // Pair with the release bump the previous owner made before arming us.
+  c->handoff.load(std::memory_order_acquire);
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_conn(c);
+    return;
+  }
+  if (!flush_out(c)) {
+    close_conn(c);
+    return;
+  }
+
+  bool peer_closed = (events & EPOLLRDHUP) != 0;
+  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0 && !c->closing) {
+    for (;;) {
+      const ssize_t r = ::read(c->fd, rbuf.data(), rbuf.size());
+      if (r > 0) {
+        c->parser.feed(rbuf.data(), static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(c);
+      return;
+    }
+    Frame f;
+    for (;;) {
+      const FrameParser::Result res = c->parser.next(f);
+      if (res == FrameParser::Result::kFrame) {
+        execute(f, c, h);
+      } else if (res == FrameParser::Result::kNeedMore) {
+        break;
+      } else {
+        // Framing is gone: tell the peer why, then hang up. The BAD_FRAME
+        // answer is best-effort — the flush below may or may not land it.
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        append_frame(c->out, Op::kPing, Status::kBadFrame, 0, nullptr, 0);
+        c->closing = true;
+        break;
+      }
+    }
+  }
+
+  if (!flush_out(c)) {
+    close_conn(c);
+    return;
+  }
+  const bool drained = c->out_pos >= c->out.size();
+  if (c->closing && drained) {
+    close_conn(c);
+    return;
+  }
+  if (peer_closed) {
+    // Half-close: the peer stopped sending but may still be reading.
+    // Finish what we owe (the EPOLLOUT re-arm), then close.
+    if (drained) {
+      close_conn(c);
+      return;
+    }
+    c->closing = true;
+  }
+  rearm(c);
+}
+
+void Server::execute(const Frame& f, Conn* c, workload::DynQueue::Handle& h) {
+  frames_rx_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::count(telemetry::Counter::k_net_frames_rx);
+
+  switch (f.op) {
+    case Op::kEnq: {
+      telemetry::count(telemetry::Counter::k_net_batch_size, f.count);
+      std::uint16_t accepted = 0;
+      for (std::uint16_t i = 0; i < f.count; ++i) {
+        const std::uint64_t v = f.values[i];
+        ledger_offer(v);
+        bool ok = h.try_enqueue(v);
+        for (unsigned r = 0; !ok && r < cfg_.retries; ++r) {
+          park(cfg_.park_us);
+          ok = h.try_enqueue(v);
+        }
+        if (!ok) {
+          ledger_retract(v);
+          break;  // accepted prefix only — the rest is the client's retry
+        }
+        ++accepted;
+      }
+      enq_ok_.fetch_add(accepted, std::memory_order_relaxed);
+      const Status st =
+          accepted == f.count ? Status::kOk : Status::kWouldBlock;
+      if (st == Status::kWouldBlock) {
+        would_block_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::count(telemetry::Counter::k_net_would_block);
+      }
+      append_frame(c->out, Op::kEnq, st, accepted, nullptr, 0);
+      break;
+    }
+    case Op::kDeq: {
+      telemetry::count(telemetry::Counter::k_net_batch_size, f.count);
+      std::uint64_t vals[kMaxBatch];
+      std::uint16_t got = 0;
+      for (std::uint16_t i = 0; i < f.count; ++i) {
+        std::uint64_t v = 0;
+        bool ok = h.try_dequeue(v);
+        // Bounded retry only while empty-handed: once something is going
+        // back, an empty queue ends the batch instead of stalling it.
+        for (unsigned r = 0; !ok && got == 0 && r < cfg_.retries; ++r) {
+          park(cfg_.park_us);
+          ok = h.try_dequeue(v);
+        }
+        if (!ok) break;
+        ledger_deliver(v);
+        vals[got++] = v;
+      }
+      deq_ok_.fetch_add(got, std::memory_order_relaxed);
+      const Status st = got == f.count ? Status::kOk : Status::kWouldBlock;
+      if (st == Status::kWouldBlock) {
+        would_block_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::count(telemetry::Counter::k_net_would_block);
+      }
+      append_frame(c->out, Op::kDeq, st, got, vals, got);
+      break;
+    }
+    case Op::kPing: {
+      append_frame(c->out, Op::kPing, Status::kOk, 0, nullptr, 0);
+      break;
+    }
+    case Op::kStat: {
+      const ServerStats s = stats();
+      const std::uint64_t vals[ServerStats::kStatValues] = {
+          s.frames_rx,       s.enq_ok,         s.deq_ok,
+          s.would_block,     s.bad_frames,     s.conns_accepted,
+          s.ledger_violations, s.ledger_outstanding};
+      append_frame(c->out, Op::kStat, Status::kOk, ServerStats::kStatValues,
+                   vals, ServerStats::kStatValues);
+      break;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace membq

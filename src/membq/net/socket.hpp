@@ -1,0 +1,132 @@
+// Small RAII + helper layer over the POSIX sockets the net/ subsystem
+// uses. Linux-only (epoll lives in server.cpp; this header is plain
+// BSD-socket calls). Everything here is error-by-return — the server and
+// loadgen decide what is fatal.
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace membq {
+namespace net {
+
+// Owning file descriptor; move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset(o.fd_);
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+inline bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Nagle off: the protocol is request/response with small frames, and the
+// loadgen measures RTT — a delayed ACK/Nagle interaction would dominate
+// every percentile.
+inline void set_nodelay(int fd) noexcept {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Bind + listen on 127.0.0.1:port (port 0 = kernel-assigned). On success
+// returns the fd and writes the actual port; on failure returns an
+// invalid Fd with errno set.
+inline Fd make_listener(std::uint16_t port, std::uint16_t& actual_port,
+                        int backlog = 128) noexcept {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Fd();
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Fd();
+  }
+  if (::listen(fd.get(), backlog) != 0) return Fd();
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Fd();
+  }
+  actual_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+// Blocking connect to host:port (IPv4 dotted quad). Invalid Fd + errno on
+// failure.
+inline Fd connect_tcp(const std::string& host, std::uint16_t port) noexcept {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Fd();
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return Fd();
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Fd();
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+// Write the whole buffer to a blocking fd; false on any error.
+inline bool write_all(int fd, const void* data, std::size_t n) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace membq

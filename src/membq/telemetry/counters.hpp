@@ -47,7 +47,10 @@ namespace telemetry {
   X(reclaimed_node)     /* objects handed back to a deleter (any SMR)   */  \
   X(shard_affinity_hit) /* sharded op served by its handle's home shard */  \
   X(shard_len_probe)    /* po2 length-estimate probes on the spill path */  \
-  X(shard_steal)        /* sharded dequeues served by a non-home shard  */
+  X(shard_steal)        /* sharded dequeues served by a non-home shard  */  \
+  X(net_frames_rx)      /* complete protocol frames parsed by a server  */  \
+  X(net_would_block)    /* server responses sent with WOULD_BLOCK       */  \
+  X(net_batch_size)     /* values carried by parsed ENQ/DEQ frames      */
 
 enum class Counter : unsigned {
 #define MEMBQ_TELEMETRY_ENUM(name) k_##name,

@@ -112,109 +112,101 @@ QueueSpec make_spec(std::string name, std::size_t max_threads, MakeFn make,
 
 std::size_t no_aux(std::size_t, std::size_t) { return 0; }
 
-}  // namespace
+// Shard count of the sharded rows (part of their row names).
+constexpr std::size_t kShards = 4;
 
-std::vector<QueueSpec> all_queues(std::size_t max_threads) {
-  const std::size_t mt = std::max<std::size_t>(max_threads, 2);
-  std::vector<QueueSpec> queues;
-  queues.reserve(15);
-
-  queues.push_back(make_spec<OptimalQueue>(
-      OptimalQueue::kName, mt,
-      [](std::size_t c, std::size_t t) {
-        return std::make_unique<OptimalQueue>(c, t);
-      },
-      no_aux));
+// THE name→factory table. Every registry row is one visit() call:
+// visit(name, make, aux) with make(capacity, threads) -> unique_ptr<Q>.
+// all_queues(), make_queue_by_name() and queue_names() all walk this one
+// enumeration, so a row cannot exist for the benches and be unknown to
+// the --queue flag (or vice versa).
+template <class Visitor>
+void enumerate_queues(Visitor&& visit) {
+  visit(OptimalQueue::kName,
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<OptimalQueue>(c, t);
+        },
+        no_aux);
 
   // Lock-free L5 realizations (readElem/findOp announcement protocol),
   // one row per reclamation backend; the combining realization above
   // stays as the baseline row.
-  queues.push_back(make_spec<LockFreeOptimalQueue<reclaim::EpochDomain>>(
-      LockFreeOptimalQueue<reclaim::EpochDomain>::kName, mt,
-      [](std::size_t c, std::size_t t) {
-        return std::make_unique<LockFreeOptimalQueue<reclaim::EpochDomain>>(
-            c, t);
-      },
-      no_aux));
+  visit(LockFreeOptimalQueue<reclaim::EpochDomain>::kName,
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<LockFreeOptimalQueue<reclaim::EpochDomain>>(
+              c, t);
+        },
+        no_aux);
 
-  queues.push_back(make_spec<LockFreeOptimalQueue<reclaim::HazardDomain>>(
-      LockFreeOptimalQueue<reclaim::HazardDomain>::kName, mt,
-      [](std::size_t c, std::size_t t) {
-        return std::make_unique<LockFreeOptimalQueue<reclaim::HazardDomain>>(
-            c, t);
-      },
-      no_aux));
+  visit(LockFreeOptimalQueue<reclaim::HazardDomain>::kName,
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<LockFreeOptimalQueue<reclaim::HazardDomain>>(
+              c, t);
+        },
+        no_aux);
 
-  queues.push_back(make_spec<DistinctQueue>(
-      DistinctQueue::kName, mt,
-      [](std::size_t c, std::size_t) {
-        return std::make_unique<DistinctQueue>(c);
-      },
-      no_aux));
+  visit(DistinctQueue::kName,
+        [](std::size_t c, std::size_t) {
+          return std::make_unique<DistinctQueue>(c);
+        },
+        no_aux);
 
-  queues.push_back(make_spec<LlscQueue>(
-      LlscQueue::kName, mt,
-      [](std::size_t c, std::size_t) { return std::make_unique<LlscQueue>(c); },
-      [](std::size_t c, std::size_t) {
-        return c * LLSCCell::emulation_overhead_bytes();
-      }));
+  visit(LlscQueue::kName,
+        [](std::size_t c, std::size_t) {
+          return std::make_unique<LlscQueue>(c);
+        },
+        [](std::size_t c, std::size_t) {
+          return c * LLSCCell::emulation_overhead_bytes();
+        });
 
-  queues.push_back(make_spec<DcssQueue>(
-      DcssQueue::kName, mt,
-      [](std::size_t c, std::size_t t) {
-        return std::make_unique<DcssQueue>(c, t);
-      },
-      no_aux));
+  visit(DcssQueue::kName,
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<DcssQueue>(c, t);
+        },
+        no_aux);
 
-  queues.push_back(make_spec<SegmentQueue>(
-      SegmentQueue::kName, mt,
-      [](std::size_t c, std::size_t t) {
-        return std::make_unique<SegmentQueue>(c, /*seg_size=*/0,
-                                              /*pool_segments=*/t);
-      },
-      no_aux));
+  visit(SegmentQueue::kName,
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<SegmentQueue>(c, /*seg_size=*/0,
+                                                /*pool_segments=*/t);
+        },
+        no_aux);
 
   // Lock-free L1 realizations, one row per reclamation backend; the mutex
   // realization above stays as the baseline row.
-  queues.push_back(make_spec<LockFreeSegmentQueue<reclaim::EpochDomain>>(
-      LockFreeSegmentQueue<reclaim::EpochDomain>::kName, mt,
-      [](std::size_t c, std::size_t t) {
-        return std::make_unique<LockFreeSegmentQueue<reclaim::EpochDomain>>(
-            c, /*seg_size=*/0, /*max_threads=*/t);
-      },
-      no_aux));
+  visit(LockFreeSegmentQueue<reclaim::EpochDomain>::kName,
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<LockFreeSegmentQueue<reclaim::EpochDomain>>(
+              c, /*seg_size=*/0, /*max_threads=*/t);
+        },
+        no_aux);
 
-  queues.push_back(make_spec<LockFreeSegmentQueue<reclaim::HazardDomain>>(
-      LockFreeSegmentQueue<reclaim::HazardDomain>::kName, mt,
-      [](std::size_t c, std::size_t t) {
-        return std::make_unique<LockFreeSegmentQueue<reclaim::HazardDomain>>(
-            c, /*seg_size=*/0, /*max_threads=*/t);
-      },
-      no_aux));
+  visit(LockFreeSegmentQueue<reclaim::HazardDomain>::kName,
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<LockFreeSegmentQueue<reclaim::HazardDomain>>(
+              c, /*seg_size=*/0, /*max_threads=*/t);
+        },
+        no_aux);
 
-  queues.push_back(make_spec<VyukovQueue>(
-      VyukovQueue::kName, mt,
-      [](std::size_t c, std::size_t) {
-        return std::make_unique<VyukovQueue>(c);
-      },
-      no_aux));
+  visit(VyukovQueue::kName,
+        [](std::size_t c, std::size_t) {
+          return std::make_unique<VyukovQueue>(c);
+        },
+        no_aux);
 
-  queues.push_back(make_spec<ScqRing>(
-      ScqRing::kName, mt,
-      [](std::size_t c, std::size_t) { return std::make_unique<ScqRing>(c); },
-      no_aux));
+  visit(ScqRing::kName,
+        [](std::size_t c, std::size_t) { return std::make_unique<ScqRing>(c); },
+        no_aux);
 
-  queues.push_back(make_spec<MichaelScottQueue>(
-      MichaelScottQueue::kName, mt,
-      [](std::size_t c, std::size_t t) {
-        return std::make_unique<MichaelScottQueue>(c, /*max_threads=*/t);
-      },
-      no_aux));
+  visit(MichaelScottQueue::kName,
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<MichaelScottQueue>(c, /*max_threads=*/t);
+        },
+        no_aux);
 
-  queues.push_back(make_spec<MutexRing>(
-      MutexRing::kName, mt,
-      [](std::size_t c, std::size_t) { return std::make_unique<MutexRing>(c); },
-      no_aux));
+  visit(MutexRing::kName,
+        [](std::size_t c, std::size_t) { return std::make_unique<MutexRing>(c); },
+        no_aux);
 
   // Sharded elastic layer: N shards of a base row behind the affinity /
   // po2-spill / work-stealing router. Two representative bases — the
@@ -222,32 +214,86 @@ std::vector<QueueSpec> all_queues(std::size_t max_threads) {
   // so every bench measures the sharding win and its routing overhead.
   // NOT globally linearizable: these rows carry the relaxed-FIFO contract
   // (docs/sharding.md) and the model checker applies its relaxed mode.
-  static constexpr std::size_t kShards = 4;
-  queues.push_back(make_spec<sharded::ShardedQueue<VyukovQueue>>(
-      "sharded(vyukov,4)", mt,
-      [](std::size_t c, std::size_t) {
-        return std::make_unique<sharded::ShardedQueue<VyukovQueue>>(
-            c, kShards, [](std::size_t per_shard) {
-              return std::make_unique<VyukovQueue>(per_shard);
-            });
-      },
-      no_aux));
+  visit("sharded(vyukov,4)",
+        [](std::size_t c, std::size_t) {
+          return std::make_unique<sharded::ShardedQueue<VyukovQueue>>(
+              c, kShards, [](std::size_t per_shard) {
+                return std::make_unique<VyukovQueue>(per_shard);
+              });
+        },
+        no_aux);
 
-  queues.push_back(
-      make_spec<sharded::ShardedQueue<LockFreeSegmentQueue<reclaim::EpochDomain>>>(
-          "sharded(segment-ebr,4)", mt,
-          [](std::size_t c, std::size_t t) {
-            return std::make_unique<
-                sharded::ShardedQueue<LockFreeSegmentQueue<reclaim::EpochDomain>>>(
-                c, kShards, [t](std::size_t per_shard) {
-                  return std::make_unique<
-                      LockFreeSegmentQueue<reclaim::EpochDomain>>(
-                      per_shard, /*seg_size=*/0, /*max_threads=*/t);
-                });
-          },
-          no_aux));
+  visit("sharded(segment-ebr,4)",
+        [](std::size_t c, std::size_t t) {
+          return std::make_unique<
+              sharded::ShardedQueue<LockFreeSegmentQueue<reclaim::EpochDomain>>>(
+              c, kShards, [t](std::size_t per_shard) {
+                return std::make_unique<
+                    LockFreeSegmentQueue<reclaim::EpochDomain>>(
+                    per_shard, /*seg_size=*/0, /*max_threads=*/t);
+              });
+        },
+        no_aux);
+}
 
+// Adapter from any registry row to the type-erased DynQueue: owns the
+// concrete queue, hands out handle wrappers that forward the two ops.
+template <class Q>
+class DynQueueOf final : public DynQueue {
+ public:
+  explicit DynQueueOf(std::unique_ptr<Q> q) : q_(std::move(q)) {}
+
+  std::unique_ptr<Handle> make_handle() override {
+    return std::make_unique<H>(*q_);
+  }
+
+ private:
+  class H final : public Handle {
+   public:
+    explicit H(Q& q) : h_(q) {}
+    bool try_enqueue(std::uint64_t v) override { return h_.try_enqueue(v); }
+    bool try_dequeue(std::uint64_t& out) override { return h_.try_dequeue(out); }
+
+   private:
+    typename Q::Handle h_;
+  };
+
+  std::unique_ptr<Q> q_;
+};
+
+}  // namespace
+
+std::vector<QueueSpec> all_queues(std::size_t max_threads) {
+  const std::size_t mt = std::max<std::size_t>(max_threads, 2);
+  std::vector<QueueSpec> queues;
+  queues.reserve(16);
+  enumerate_queues([&](const char* name, auto make, auto aux) {
+    using Q = typename decltype(make(std::size_t{1},
+                                     std::size_t{2}))::element_type;
+    queues.push_back(make_spec<Q>(name, mt, make, aux));
+  });
   return queues;
+}
+
+std::unique_ptr<DynQueue> make_queue_by_name(const std::string& name,
+                                             std::size_t capacity,
+                                             std::size_t max_threads) {
+  const std::size_t mt = std::max<std::size_t>(max_threads, 2);
+  std::unique_ptr<DynQueue> result;
+  enumerate_queues([&](const char* row, auto make, auto /*aux*/) {
+    if (result != nullptr || name != row) return;
+    result.reset(new DynQueueOf<typename decltype(make(
+        std::size_t{1}, std::size_t{2}))::element_type>(make(capacity, mt)));
+  });
+  return result;
+}
+
+std::vector<std::string> queue_names() {
+  std::vector<std::string> names;
+  enumerate_queues([&](const char* name, auto /*make*/, auto /*aux*/) {
+    names.emplace_back(name);
+  });
+  return names;
 }
 
 }  // namespace workload

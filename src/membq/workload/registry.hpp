@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,38 @@ struct QueueSpec {
 // `max_threads` bounds how many handles the Θ(T)-sized designs (and the
 // SMR domains) provision when run() constructs them.
 std::vector<QueueSpec> all_queues(std::size_t max_threads = 64);
+
+// Type-erased queue for consumers configured at runtime by name (the net/
+// server's --queue flag, sweep drivers). One virtual call per op instead
+// of the registry's statically-typed run functions — fine for anything
+// that also crosses a socket per op, wrong for the in-memory benches.
+class DynQueue {
+ public:
+  class Handle {
+   public:
+    virtual ~Handle() = default;
+    virtual bool try_enqueue(std::uint64_t v) = 0;
+    virtual bool try_dequeue(std::uint64_t& out) = 0;
+  };
+
+  virtual ~DynQueue() = default;
+
+  // A fresh per-thread handle; same concept (and same thread-affinity
+  // expectations) as the underlying queue's Handle.
+  virtual std::unique_ptr<Handle> make_handle() = 0;
+};
+
+// Build the registry row `name` (exactly the strings all_queues() reports)
+// with the given capacity, provisioned for `max_threads` handles. Returns
+// nullptr for an unknown name. Shares the one name→factory table with
+// all_queues(), so a row cannot exist in one and not the other.
+std::unique_ptr<DynQueue> make_queue_by_name(const std::string& name,
+                                             std::size_t capacity,
+                                             std::size_t max_threads = 64);
+
+// Every registry row name, in table order (for --queue usage messages and
+// sweep drivers).
+std::vector<std::string> queue_names();
 
 }  // namespace workload
 }  // namespace membq

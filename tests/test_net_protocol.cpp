@@ -1,0 +1,264 @@
+// Parser robustness for the net/ wire protocol — pure byte spans, no
+// sockets. The contracts under test: fragmentation-agnostic reassembly
+// (any split of the stream parses identically), header-only rejection of
+// hostile lengths (no allocation toward a length the parser would
+// refuse), and the per-direction semantic rules.
+
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using membq::net::append_frame;
+using membq::net::append_request;
+using membq::net::Dir;
+using membq::net::Frame;
+using membq::net::FrameParser;
+using membq::net::kHeaderBytes;
+using membq::net::kMaxBatch;
+using membq::net::kMaxPayload;
+using membq::net::kPayloadFixedBytes;
+using membq::net::Op;
+using membq::net::Status;
+
+using Bytes = std::vector<std::uint8_t>;
+using Result = FrameParser::Result;
+
+Bytes enq_request(std::initializer_list<std::uint64_t> vals) {
+  Bytes b;
+  std::vector<std::uint64_t> v(vals);
+  append_request(b, Op::kEnq, static_cast<std::uint16_t>(v.size()), v.data(),
+                 v.size());
+  return b;
+}
+
+TEST(NetProtocolTest, RoundTripsEveryRequestShape) {
+  Bytes b = enq_request({7, 8, 9});
+  append_request(b, Op::kDeq, 5, nullptr, 0);
+  append_request(b, Op::kPing, 0, nullptr, 0);
+  append_request(b, Op::kStat, 0, nullptr, 0);
+
+  FrameParser p(Dir::kRequest);
+  p.feed(b.data(), b.size());
+  Frame f;
+  ASSERT_EQ(p.next(f), Result::kFrame);
+  EXPECT_EQ(f.op, Op::kEnq);
+  EXPECT_EQ(f.count, 3);
+  EXPECT_EQ(f.values, (std::vector<std::uint64_t>{7, 8, 9}));
+  ASSERT_EQ(p.next(f), Result::kFrame);
+  EXPECT_EQ(f.op, Op::kDeq);
+  EXPECT_EQ(f.count, 5);
+  EXPECT_TRUE(f.values.empty());
+  ASSERT_EQ(p.next(f), Result::kFrame);
+  EXPECT_EQ(f.op, Op::kPing);
+  ASSERT_EQ(p.next(f), Result::kFrame);
+  EXPECT_EQ(f.op, Op::kStat);
+  EXPECT_EQ(p.next(f), Result::kNeedMore);
+  EXPECT_EQ(p.pending_bytes(), 0u);
+}
+
+TEST(NetProtocolTest, TruncatedHeaderNeedsMore) {
+  const Bytes b = enq_request({1});
+  for (std::size_t cut = 0; cut < kHeaderBytes; ++cut) {
+    FrameParser p(Dir::kRequest);
+    p.feed(b.data(), cut);
+    Frame f;
+    EXPECT_EQ(p.next(f), Result::kNeedMore) << "cut=" << cut;
+    EXPECT_EQ(p.pending_bytes(), cut);
+  }
+}
+
+TEST(NetProtocolTest, TruncatedPayloadNeedsMoreThenCompletes) {
+  const Bytes b = enq_request({42, 43});
+  for (std::size_t cut = kHeaderBytes; cut < b.size(); ++cut) {
+    FrameParser p(Dir::kRequest);
+    p.feed(b.data(), cut);
+    Frame f;
+    ASSERT_EQ(p.next(f), Result::kNeedMore) << "cut=" << cut;
+    p.feed(b.data() + cut, b.size() - cut);
+    ASSERT_EQ(p.next(f), Result::kFrame) << "cut=" << cut;
+    EXPECT_EQ(f.values, (std::vector<std::uint64_t>{42, 43}));
+  }
+}
+
+// The partial-read contract in its strongest form: one byte per feed()
+// must parse identically to one big feed — across a multi-frame stream.
+TEST(NetProtocolTest, ByteAtATimeFeedMatchesBulkFeed) {
+  Bytes b = enq_request({0xDEAD, 0xBEEF});
+  append_request(b, Op::kDeq, 2, nullptr, 0);
+  append_request(b, Op::kPing, 0, nullptr, 0);
+
+  FrameParser p(Dir::kRequest);
+  std::vector<Frame> got;
+  Frame f;
+  for (std::uint8_t byte : b) {
+    p.feed(&byte, 1);
+    while (p.next(f) == Result::kFrame) got.push_back(f);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].op, Op::kEnq);
+  EXPECT_EQ(got[0].values, (std::vector<std::uint64_t>{0xDEAD, 0xBEEF}));
+  EXPECT_EQ(got[1].op, Op::kDeq);
+  EXPECT_EQ(got[1].count, 2);
+  EXPECT_EQ(got[2].op, Op::kPing);
+  EXPECT_EQ(p.pending_bytes(), 0u);
+}
+
+// A hostile length field must be refused from the 4 header bytes alone —
+// before any payload arrives, so it can never reserve memory.
+TEST(NetProtocolTest, OversizedLengthRejectedFromHeaderAlone) {
+  std::uint8_t hdr[kHeaderBytes];
+  membq::net::detail::put_u32(hdr, 0xFFFFFFFFu);
+  FrameParser p(Dir::kRequest);
+  p.feed(hdr, sizeof(hdr));
+  Frame f;
+  ASSERT_EQ(p.next(f), Result::kError);
+  EXPECT_STREQ(p.error(), "oversized length field");
+
+  // Exactly one past the cap fails the same way; exactly at the cap is a
+  // structural pass (it just waits for the payload).
+  membq::net::detail::put_u32(hdr, static_cast<std::uint32_t>(kMaxPayload + 1));
+  FrameParser q(Dir::kRequest);
+  q.feed(hdr, sizeof(hdr));
+  ASSERT_EQ(q.next(f), Result::kError);
+  membq::net::detail::put_u32(hdr, static_cast<std::uint32_t>(kMaxPayload));
+  FrameParser r(Dir::kRequest);
+  r.feed(hdr, sizeof(hdr));
+  EXPECT_EQ(r.next(f), Result::kNeedMore);
+}
+
+TEST(NetProtocolTest, LengthBelowFixedPayloadRejected) {
+  std::uint8_t hdr[kHeaderBytes];
+  membq::net::detail::put_u32(
+      hdr, static_cast<std::uint32_t>(kPayloadFixedBytes - 1));
+  FrameParser p(Dir::kRequest);
+  p.feed(hdr, sizeof(hdr));
+  Frame f;
+  ASSERT_EQ(p.next(f), Result::kError);
+}
+
+TEST(NetProtocolTest, ZeroLengthBatchesRejected) {
+  for (Op op : {Op::kEnq, Op::kDeq}) {
+    Bytes b;
+    append_request(b, op, 0, nullptr, 0);
+    FrameParser p(Dir::kRequest);
+    p.feed(b.data(), b.size());
+    Frame f;
+    EXPECT_EQ(p.next(f), Result::kError) << "op=" << static_cast<int>(op);
+  }
+}
+
+TEST(NetProtocolTest, CountValueMismatchRejected) {
+  // 2 values but count says 3.
+  const std::uint64_t vals[2] = {1, 2};
+  Bytes b;
+  append_frame(b, Op::kEnq, Status::kOk, 3, vals, 2);
+  FrameParser p(Dir::kRequest);
+  p.feed(b.data(), b.size());
+  Frame f;
+  ASSERT_EQ(p.next(f), Result::kError);
+  EXPECT_STREQ(p.error(), "count disagrees with carried values");
+}
+
+TEST(NetProtocolTest, RaggedValueBytesRejected) {
+  Bytes b = enq_request({1});
+  // Shave 3 bytes off the value and fix the length to match: payload is
+  // no longer a whole number of values.
+  b.resize(b.size() - 3);
+  membq::net::detail::put_u32(b.data(),
+                              static_cast<std::uint32_t>(b.size() - kHeaderBytes));
+  FrameParser p(Dir::kRequest);
+  p.feed(b.data(), b.size());
+  Frame f;
+  ASSERT_EQ(p.next(f), Result::kError);
+  EXPECT_STREQ(p.error(), "payload not a whole value count");
+}
+
+TEST(NetProtocolTest, UnknownOpcodeAndStatusRejected) {
+  Bytes b;
+  append_request(b, Op::kPing, 0, nullptr, 0);
+  b[4] = 0;  // below kEnq
+  {
+    FrameParser p(Dir::kRequest);
+    p.feed(b.data(), b.size());
+    Frame f;
+    EXPECT_EQ(p.next(f), Result::kError);
+  }
+  b[4] = 99;  // above kStat
+  {
+    FrameParser p(Dir::kRequest);
+    p.feed(b.data(), b.size());
+    Frame f;
+    EXPECT_EQ(p.next(f), Result::kError);
+  }
+  b[4] = static_cast<std::uint8_t>(Op::kPing);
+  b[5] = 7;  // not a Status
+  {
+    FrameParser p(Dir::kRequest);
+    p.feed(b.data(), b.size());
+    Frame f;
+    EXPECT_EQ(p.next(f), Result::kError);
+  }
+}
+
+TEST(NetProtocolTest, DirectionRulesDiffer) {
+  // A request may not carry a non-OK status...
+  Bytes b;
+  append_frame(b, Op::kEnq, Status::kWouldBlock, 2, nullptr, 0);
+  {
+    FrameParser p(Dir::kRequest);
+    p.feed(b.data(), b.size());
+    Frame f;
+    EXPECT_EQ(p.next(f), Result::kError);
+  }
+  // ...but the same bytes are a legal ENQ response (short ack).
+  {
+    FrameParser p(Dir::kResponse);
+    p.feed(b.data(), b.size());
+    Frame f;
+    ASSERT_EQ(p.next(f), Result::kFrame);
+    EXPECT_EQ(f.status, Status::kWouldBlock);
+    EXPECT_EQ(f.count, 2);
+  }
+  // A DEQ request is bare; a DEQ response must carry count values.
+  Bytes d;
+  append_frame(d, Op::kDeq, Status::kOk, 2, nullptr, 0);
+  {
+    FrameParser p(Dir::kResponse);
+    p.feed(d.data(), d.size());
+    Frame f;
+    EXPECT_EQ(p.next(f), Result::kError);
+  }
+}
+
+TEST(NetProtocolTest, ErrorStateIsSticky) {
+  Bytes bad;
+  append_request(bad, Op::kEnq, 0, nullptr, 0);  // zero-length batch
+  const Bytes good = enq_request({5});
+  FrameParser p(Dir::kRequest);
+  p.feed(bad.data(), bad.size());
+  Frame f;
+  ASSERT_EQ(p.next(f), Result::kError);
+  p.feed(good.data(), good.size());
+  EXPECT_EQ(p.next(f), Result::kError);
+  EXPECT_NE(p.error(), nullptr);
+}
+
+TEST(NetProtocolTest, CountAboveMaxBatchRejected) {
+  // A DEQ request asking for more than kMaxBatch: structurally fine
+  // (carries no values) but over the batch cap.
+  Bytes b;
+  append_request(b, Op::kDeq, static_cast<std::uint16_t>(kMaxBatch + 1),
+                 nullptr, 0);
+  FrameParser p(Dir::kRequest);
+  p.feed(b.data(), b.size());
+  Frame f;
+  ASSERT_EQ(p.next(f), Result::kError);
+  EXPECT_STREQ(p.error(), "count above kMaxBatch");
+}
+
+}  // namespace
