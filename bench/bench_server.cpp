@@ -23,16 +23,22 @@
 #include "harness.hpp"
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
+#include "telemetry/counters.hpp"
 
 namespace {
 
 struct RunOutcome {
   membq::net::LoadgenResult client;
   membq::net::ServerStats server;
+  // net_batch_items / net_frames_rx over this run (telemetry delta; 0
+  // when the build has telemetry off). The satellite fix: the counter is
+  // a running SUM of items, so only this ratio is a batch size.
+  double mean_batch = 0.0;
 };
 
 RunOutcome serve_once(const membq::net::ServerConfig& scfg,
                       membq::net::LoadgenConfig lcfg) {
+  const membq::telemetry::CounterSnapshot before = membq::telemetry::snapshot();
   membq::net::Server server(scfg);
   server.start();
   lcfg.host = "127.0.0.1";
@@ -41,6 +47,16 @@ RunOutcome serve_once(const membq::net::ServerConfig& scfg,
   out.client = membq::net::run_loadgen(lcfg);
   server.stop_and_join();
   out.server = server.stats();
+  const membq::telemetry::CounterSnapshot d =
+      membq::telemetry::snapshot().delta_since(before);
+  const std::uint64_t frames =
+      d[membq::telemetry::Counter::k_net_frames_rx];
+  if (frames > 0) {
+    out.mean_batch =
+        static_cast<double>(
+            d[membq::telemetry::Counter::k_net_batch_items]) /
+        static_cast<double>(frames);
+  }
   return out;
 }
 
@@ -57,6 +73,7 @@ void stamp(membq::bench::Record& rec, const RunOutcome& o,
       .param("conns", static_cast<std::uint64_t>(lcfg.conns))
       .param("batch", static_cast<std::uint64_t>(lcfg.batch))
       .metric("mops", mops)
+      .metric("mean_batch", o.mean_batch)
       .metric("frames_per_sec", o.client.frames_per_sec)
       .metric("enq_acked", o.client.enq_acked)
       .metric("deq_received", o.client.deq_received)
@@ -79,10 +96,10 @@ bool print_row(const char* label, const RunOutcome& o) {
   const bool ok = o.client.ledger_ok && o.client.error.empty() &&
                   o.server.ledger_violations == 0;
   std::printf(
-      "%-28s %8.3f Mops/s  p50=%7.0fns p99=%7.0fns  would_block=%llu "
-      "retries=%llu  ledger=%s%s%s\n",
+      "%-28s %8.3f Mops/s  p50=%7.0fns p99=%7.0fns  mean_batch=%.1f "
+      "would_block=%llu retries=%llu  ledger=%s%s%s\n",
       label, mops, o.client.rtt.percentile(0.50), o.client.rtt.percentile(0.99),
-      static_cast<unsigned long long>(o.client.would_block),
+      o.mean_batch, static_cast<unsigned long long>(o.client.would_block),
       static_cast<unsigned long long>(o.client.enq_retries), ok ? "OK" : "FAIL",
       o.client.error.empty() ? "" : "  error=", o.client.error.c_str());
   return ok;
@@ -116,7 +133,7 @@ int main(int argc, char** argv) {
 
   membq::net::LoadgenConfig lcfg;
   lcfg.ops_per_conn = kOps;
-  lcfg.batch = 8;
+  lcfg.batch = harness.batch(8);
 
   std::printf("=== E17: served queue '%s' over loopback (C = %zu) ===\n",
               queue.c_str(), kCapacity);
@@ -130,6 +147,22 @@ int main(int argc, char** argv) {
                               std::to_string(conns);
     ok &= print_row(label.c_str(), o);
     stamp(harness.record(label), o, scfg, lcfg);
+  }
+
+  // Batch axis: per-item (B=1) vs batched (B=--batch) frames against the
+  // same server — the wire cost per frame is fixed, so the batched row
+  // shows the bulk path's amortization end to end (and its mean_batch
+  // metric must match the loadgen's configured batch).
+  for (const std::size_t b : {std::size_t{1}, harness.batch(8)}) {
+    if (b == 1 && harness.batch(8) == 1) continue;  // no duplicate B=1 row
+    membq::net::LoadgenConfig blc = lcfg;
+    blc.conns = 2;
+    blc.batch = b;
+    scfg.max_threads = scfg.workers + 2;
+    const RunOutcome o = serve_once(scfg, blc);
+    const std::string label = "batch/" + queue + "/B=" + std::to_string(b);
+    ok &= print_row(label.c_str(), o);
+    stamp(harness.record(label), o, scfg, blc);
   }
 
   // Backpressure shape: capacity 8 against an enqueue-heavy fleet. The

@@ -18,6 +18,7 @@
 #include "queues/dcss_queue.hpp"
 #include "queues/distinct_queue.hpp"
 #include "queues/llsc_queue.hpp"
+#include "queues/lockfree_segment_queue.hpp"
 #include "sync/memory_order.hpp"
 #include "workload/driver.hpp"
 #include "workload/registry.hpp"
@@ -99,6 +100,41 @@ int main(int argc, char** argv) {
     {
       membq::BasicDcssQueue<membq::SeqCstOrders> q(kCapacity, threads + 1);
       order_row(harness, q, cfg, membq::SeqCstOrders::kName);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("=== E18: batched ops — per-item (B=1) vs bulk (--batch=N) "
+              "publication amortization ===\n");
+  {
+    // Per-item and batched rows from ONE binary, over the queues with a
+    // native bulk path (one ticket-range reservation per batch). The
+    // claim: the B>1 row is never slower than its B=1 twin — publication
+    // cost amortizes (PR 5 measured it as the uncontended ceiling).
+    const std::size_t kBatch = harness.batch(8);
+    const char* kBulkRows[] = {
+        membq::VyukovQueue::kName,  membq::ScqRing::kName,
+        membq::DistinctQueue::kName,
+        membq::EbrSegmentQueue::kName,
+        "sharded(vyukov,4)",
+    };
+    RunConfig cfg;
+    cfg.threads = 4;
+    cfg.ops_per_thread = kOps / cfg.threads;
+    cfg.mix = harness.mix(Mix::kBalanced);
+    cfg.prefill = kCapacity / 2;
+    for (const auto& spec : all_queues()) {
+      bool selected = false;
+      for (const char* n : kBulkRows) selected |= spec.name == n;
+      if (!selected) continue;
+      for (const std::size_t b : {std::size_t{1}, kBatch}) {
+        cfg.batch = b;
+        const RunResult r = spec.run(kCapacity, cfg);
+        std::printf("%s  [B=%zu]\n", r.format().c_str(), b);
+        harness.record("e18/" + r.queue + "/B=" + std::to_string(b))
+            .from(r)
+            .param("capacity", static_cast<std::uint64_t>(kCapacity));
+      }
     }
     std::printf("\n");
   }

@@ -23,8 +23,8 @@ constexpr std::size_t kShortDivisor = 8;
                "%s: bad argument '%s'\n"
                "usage: bench_%s [--threads=1,2,4] [--capacity=N] [--ops=N]\n"
                "       [--mix=balanced|enq-heavy|deq-heavy|pairwise|bursty]\n"
-               "       [--short] [--out=PATH] [--out-dir=DIR] [--no-json]\n"
-               "       [--profile-us=N]\n",
+               "       [--batch=N] [--short] [--out=PATH] [--out-dir=DIR]\n"
+               "       [--no-json] [--profile-us=N]\n",
                name, bad, name);
   std::exit(2);
 }
@@ -118,6 +118,7 @@ Record& Record::from(const workload::RunResult& r) {
   param("queue", r.queue);
   param("threads", static_cast<std::uint64_t>(r.threads));
   param("mix", workload::to_string(r.mix));
+  param("batch", static_cast<std::uint64_t>(r.batch));
   metric("mops", r.mops);
   metric("seconds", r.seconds);
   metric("enq_ok", r.enq_ok);
@@ -149,6 +150,11 @@ Harness::Harness(const char* name, int argc, char** argv) : name_(name) {
       if (!parse_size(v, opts_.ops) || opts_.ops == 0) {
         usage_and_exit(name, arg);
       }
+    } else if ((v = flag_value(arg, "--batch")) != nullptr) {
+      if (!parse_size(v, opts_.batch) || opts_.batch == 0) {
+        usage_and_exit(name, arg);
+      }
+      opts_.has_batch = true;
     } else if ((v = flag_value(arg, "--mix")) != nullptr) {
       if (!workload::mix_from_string(v, opts_.mix)) usage_and_exit(name, arg);
       opts_.has_mix = true;
@@ -194,6 +200,10 @@ std::vector<std::size_t> Harness::threads(
 
 workload::Mix Harness::mix(workload::Mix dflt) const noexcept {
   return opts_.has_mix ? opts_.mix : dflt;
+}
+
+std::size_t Harness::batch(std::size_t dflt) const noexcept {
+  return opts_.has_batch ? opts_.batch : dflt;
 }
 
 Record& Harness::record(std::string label) {

@@ -18,6 +18,7 @@
 //   --capacity=N       override the bench's default capacity
 //   --ops=N            override the bench's per-thread op count
 //   --mix=NAME         override the workload mix (balanced, enq-heavy, ...)
+//   --batch=N          override the bench's items-per-op batch size
 //   --short            scale op counts down ~8x (CI smoke mode)
 //   --out=PATH         write the JSON to PATH
 //   --out-dir=DIR      write to DIR/BENCH_<name>.json (default ".")
@@ -51,6 +52,8 @@ struct Options {
   std::size_t ops = 0;               // 0 = bench default
   bool has_mix = false;
   workload::Mix mix = workload::Mix::kBalanced;
+  bool has_batch = false;
+  std::size_t batch = 1;             // items per op (--batch override)
   bool short_mode = false;
   bool json = true;
   std::string out_path;        // explicit --out
@@ -121,6 +124,7 @@ class Harness {
   std::vector<std::size_t> threads(
       std::initializer_list<std::size_t> dflt) const;
   workload::Mix mix(workload::Mix dflt) const noexcept;
+  std::size_t batch(std::size_t dflt) const noexcept;
 
   // Open a new record. The telemetry counter delta since the previous
   // record() (or construction) is attributed to THIS record, so call it

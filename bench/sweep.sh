@@ -30,7 +30,10 @@ QUEUES="sharded(vyukov,4)"
 OUT_DIR=sweep-out
 EXTRA=()
 
-usage() { sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'; }
+# Print the whole header comment block (everything from line 2 to the
+# first non-comment line), so the help text can never silently truncate
+# again when the header grows.
+usage() { awk 'NR > 1 && !/^#/ { exit } NR > 1 { sub(/^# ?/, ""); print }' "$0"; }
 
 while [[ $# -gt 0 ]]; do
   case "$1" in

@@ -82,6 +82,66 @@ class BasicScqRing {
     }
   }
 
+  // Bulk enqueue: claim consecutive tickets t0, t0+1, … with the tail
+  // advance DEFERRED — the scalar path pays one helping CAS on tail_ per
+  // item; here a single release CAS `tail_: t0 → t0+k` covers the whole
+  // claimed range at the end. Safe because advance() is helping-only:
+  // tickets are allocated by the slot CAS (2r → 2r+1), never by the
+  // counter, so a lagging tail_ costs other threads help iterations but
+  // never correctness. A slot whose state is 2·round is always claimable
+  // (its previous round was dequeued, so head has passed ticket t−cap_).
+  // Any contention or unready slot ends the batch: prefix semantics.
+  std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                               std::size_t n) noexcept {
+    if (n == 0) return 0;
+    telemetry::count(telemetry::Counter::k_enq_attempt);
+    Backoff backoff;
+    std::uint64_t t0;
+    for (;;) {  // first item: full scalar protocol, advance deferred
+      const std::uint64_t t = tail_.load(O::acquire);
+      const std::uint64_t h = head_.load(O::acquire);
+      Entry cur = cells_[t % cap_].load(O::acquire);
+      if (t != tail_.load(O::acquire)) continue;
+      const std::uint64_t round = t / cap_;
+      if (cur.state == 2 * round) {
+        if (cells_[t % cap_].compare_exchange_strong(
+                cur, Entry{2 * round + 1, vs[0]}, O::acq_rel, O::relaxed)) {
+          t0 = t;
+          break;
+        }
+        telemetry::count(telemetry::Counter::k_cas_fail);
+        backoff.pause();
+        continue;
+      }
+      if (cur.state == 2 * round + 1) {
+        advance(tail_, t);
+        continue;
+      }
+      if (t - h >= cap_) return 0;
+      backoff.pause();
+    }
+    std::size_t k = 1;
+    while (k < n && k < cap_) {
+      const std::uint64_t t = t0 + k;
+      const std::uint64_t round = t / cap_;
+      Entry cur = cells_[t % cap_].load(O::acquire);
+      if (cur.state != 2 * round) break;  // unready or already claimed
+      // Same release half as the scalar claim: publishes vs[k] to the
+      // dequeuer's acquire entry load for round `round`.
+      if (!cells_[t % cap_].compare_exchange_strong(
+              cur, Entry{2 * round + 1, vs[k]}, O::acq_rel, O::relaxed)) {
+        telemetry::count(telemetry::Counter::k_cas_fail);
+        break;
+      }
+      ++k;
+    }
+    // One release CAS covers the claimed range. Helping semantics: if a
+    // helper already advanced past t0 this fails harmlessly.
+    std::uint64_t expected = t0;
+    tail_.compare_exchange_strong(expected, t0 + k, O::release, O::relaxed);
+    return k;
+  }
+
   bool try_dequeue(std::uint64_t& out) noexcept {
     telemetry::count(telemetry::Counter::k_deq_attempt);
     Backoff backoff;
@@ -116,12 +176,71 @@ class BasicScqRing {
     }
   }
 
+  // Bulk dequeue mirror: claim consecutive published slots (2r+1 →
+  // 2(r+1)), defer the head advance to one release CAS over the range.
+  std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) noexcept {
+    if (n == 0) return 0;
+    telemetry::count(telemetry::Counter::k_deq_attempt);
+    Backoff backoff;
+    std::uint64_t h0;
+    for (;;) {  // first item: full scalar protocol, advance deferred
+      const std::uint64_t h = head_.load(O::acquire);
+      const std::uint64_t t = tail_.load(O::acquire);
+      Entry cur = cells_[h % cap_].load(O::acquire);
+      if (h != head_.load(O::acquire)) continue;
+      const std::uint64_t round = h / cap_;
+      if (cur.state == 2 * round + 1) {
+        if (cells_[h % cap_].compare_exchange_strong(
+                cur, Entry{2 * (round + 1), 0}, O::acq_rel, O::relaxed)) {
+          out[0] = cur.value;
+          h0 = h;
+          break;
+        }
+        telemetry::count(telemetry::Counter::k_cas_fail);
+        backoff.pause();
+        continue;
+      }
+      if (cur.state == 2 * (round + 1)) {
+        advance(head_, h);
+        continue;
+      }
+      if (t <= h) return 0;  // empty
+      backoff.pause();
+    }
+    std::size_t k = 1;
+    while (k < n && k < cap_) {
+      const std::uint64_t h = h0 + k;
+      const std::uint64_t round = h / cap_;
+      Entry cur = cells_[h % cap_].load(O::acquire);
+      if (cur.state != 2 * round + 1) break;  // unpublished or claimed
+      // Release half publishes the vacancy to round r+1's enqueuer, as in
+      // the scalar claim; the value rode inside the double-width word.
+      if (!cells_[h % cap_].compare_exchange_strong(
+              cur, Entry{2 * (round + 1), 0}, O::acq_rel, O::relaxed)) {
+        telemetry::count(telemetry::Counter::k_cas_fail);
+        break;
+      }
+      out[k] = cur.value;
+      ++k;
+    }
+    std::uint64_t expected = h0;
+    head_.compare_exchange_strong(expected, h0 + k, O::release, O::relaxed);
+    return k;
+  }
+
   class Handle {
    public:
     explicit Handle(BasicScqRing& q) noexcept : q_(q) {}
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
+    }
+    std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                                 std::size_t n) noexcept {
+      return q_.try_enqueue_bulk(vs, n);
+    }
+    std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) noexcept {
+      return q_.try_dequeue_bulk(out, n);
     }
 
    private:

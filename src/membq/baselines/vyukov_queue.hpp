@@ -81,6 +81,104 @@ class BasicVyukovQueue {
     }
   }
 
+  // Bulk enqueue: reserve tickets pos..pos+k-1 with ONE relaxed CAS
+  // `tail_: pos → pos+k`, then write the k values and publish each slot
+  // with its own release seq store. The amortization is the single CAS
+  // (and single scan) per batch; publication stays per-slot because each
+  // consumer acquires only its own slot's seq word — a single trailing
+  // release store on the last slot would leave slots 0..k-2 unpaired.
+  //
+  // Ownership argument for the scan-then-CAS: the acquire scan saw
+  // seq == pos+i for every i < k, i.e. every slot ready for exactly round
+  // pos+i. Winning the CAS at tail_ == pos means no other enqueuer holds
+  // any ticket in [pos, pos+k) — a competitor must advance tail_ past pos
+  // first — and a dequeuer never touches a slot whose seq it hasn't seen
+  // published (seq == ticket+1), so the scanned slots stay ours even
+  // though the scan happened before the reservation.
+  std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                               std::size_t n) noexcept {
+    if (n == 0) return 0;
+    std::uint64_t pos = tail_.load(O::relaxed);
+    for (;;) {
+      telemetry::count(telemetry::Counter::k_enq_attempt);
+      // Acquire: pairs with the dequeuer's release store of the wrapped
+      // round — seeing seq == pos makes the cell.value writes below safe.
+      const std::uint64_t seq0 = cells_[pos % cap_].seq.load(O::acquire);
+      const std::int64_t dif0 = static_cast<std::int64_t>(seq0) -
+                                static_cast<std::int64_t>(pos);
+      if (dif0 < 0) return 0;  // slot holds the previous round: full
+      if (dif0 != 0) {
+        pos = tail_.load(O::relaxed);
+        continue;
+      }
+      std::size_t k = 1;
+      while (k < n && k < cap_) {
+        const std::uint64_t seq = cells_[(pos + k) % cap_].seq.load(O::acquire);
+        if (seq != pos + k) break;  // full at this slot, or claimed
+        ++k;
+      }
+      std::uint64_t expect = pos;
+      if (tail_.compare_exchange_weak(expect, pos + k, O::relaxed)) {
+        for (std::size_t i = 0; i < k; ++i) {
+          Cell& cell = cells_[(pos + i) % cap_];
+          cell.value = vs[i];
+          // Release: publishes cell.value to this round's dequeuer — one
+          // store per slot (see the header comment on why the publication
+          // sweep cannot collapse to a single trailing release).
+          cell.seq.store(pos + i + 1, O::release);
+        }
+        return k;
+      }
+      telemetry::count(telemetry::Counter::k_cas_fail);
+      pos = expect;
+    }
+  }
+
+  // Bulk dequeue mirror: one relaxed CAS `head_: pos → pos+k` reserves
+  // the ticket range after the scan acquire-loads each slot's published
+  // seq (pos+i+1). Ownership argument mirrors try_enqueue_bulk: a
+  // competing dequeuer must advance head_ first, and no enqueuer touches
+  // a slot before its wrapped-round seq (pos+i+cap_) appears — which only
+  // we will store.
+  std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) noexcept {
+    if (n == 0) return 0;
+    std::uint64_t pos = head_.load(O::relaxed);
+    for (;;) {
+      telemetry::count(telemetry::Counter::k_deq_attempt);
+      // Acquire: pairs with the enqueuer's release seq store — seeing
+      // seq == pos + 1 makes the non-atomic cell.value reads below safe.
+      const std::uint64_t seq0 = cells_[pos % cap_].seq.load(O::acquire);
+      const std::int64_t dif0 = static_cast<std::int64_t>(seq0) -
+                                static_cast<std::int64_t>(pos + 1);
+      if (dif0 < 0) return 0;  // slot not yet published: empty
+      if (dif0 != 0) {
+        pos = head_.load(O::relaxed);
+        continue;
+      }
+      std::size_t k = 1;
+      while (k < n && k < cap_) {
+        const std::uint64_t seq =
+            cells_[(pos + k) % cap_].seq.load(O::acquire);
+        if (seq != pos + k + 1) break;  // not yet published, or claimed
+        ++k;
+      }
+      std::uint64_t expect = pos;
+      if (head_.compare_exchange_weak(expect, pos + k, O::relaxed)) {
+        for (std::size_t i = 0; i < k; ++i) {
+          Cell& cell = cells_[(pos + i) % cap_];
+          out[i] = cell.value;
+          // Release: publishes the vacancy (and our cell.value read) to
+          // the wrapped round's enqueuer — per slot, same as the scalar
+          // path; the wrapped enqueuer acquires this slot's seq alone.
+          cell.seq.store(pos + i + cap_, O::release);
+        }
+        return k;
+      }
+      telemetry::count(telemetry::Counter::k_cas_fail);
+      pos = expect;
+    }
+  }
+
   bool try_dequeue(std::uint64_t& out) noexcept {
     telemetry::count(telemetry::Counter::k_deq_attempt);
     std::uint64_t pos = head_.load(O::relaxed);
@@ -114,6 +212,13 @@ class BasicVyukovQueue {
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
+    }
+    std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                                 std::size_t n) noexcept {
+      return q_.try_enqueue_bulk(vs, n);
+    }
+    std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) noexcept {
+      return q_.try_dequeue_bulk(out, n);
     }
 
    private:

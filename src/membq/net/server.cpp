@@ -369,21 +369,21 @@ void Server::execute(const Frame& f, Conn* c, workload::DynQueue::Handle& h) {
 
   switch (f.op) {
     case Op::kEnq: {
-      telemetry::count(telemetry::Counter::k_net_batch_size, f.count);
-      std::uint16_t accepted = 0;
-      for (std::uint16_t i = 0; i < f.count; ++i) {
-        const std::uint64_t v = f.values[i];
-        ledger_offer(v);
-        bool ok = h.try_enqueue(v);
-        for (unsigned r = 0; !ok && r < cfg_.retries; ++r) {
-          park(cfg_.park_us);
-          ok = h.try_enqueue(v);
-        }
-        if (!ok) {
-          ledger_retract(v);
-          break;  // accepted prefix only — the rest is the client's retry
-        }
-        ++accepted;
+      telemetry::count(telemetry::Counter::k_net_batch_items, f.count);
+      // Bulk path: the whole frame is offered to the ledger, handed to
+      // the queue as ONE bulk enqueue (the amortization the wire batch
+      // was designed for), and the refused suffix retracted. Bounded
+      // retry/park applies to the remaining suffix, not per item.
+      for (std::uint16_t i = 0; i < f.count; ++i) ledger_offer(f.values[i]);
+      std::uint16_t accepted = static_cast<std::uint16_t>(
+          h.try_enqueue_bulk(f.values.data(), f.count));
+      for (unsigned r = 0; accepted < f.count && r < cfg_.retries; ++r) {
+        park(cfg_.park_us);
+        accepted += static_cast<std::uint16_t>(h.try_enqueue_bulk(
+            f.values.data() + accepted, f.count - accepted));
+      }
+      for (std::uint16_t i = accepted; i < f.count; ++i) {
+        ledger_retract(f.values[i]);
       }
       enq_ok_.fetch_add(accepted, std::memory_order_relaxed);
       const Status st =
@@ -396,22 +396,22 @@ void Server::execute(const Frame& f, Conn* c, workload::DynQueue::Handle& h) {
       break;
     }
     case Op::kDeq: {
-      telemetry::count(telemetry::Counter::k_net_batch_size, f.count);
+      telemetry::count(telemetry::Counter::k_net_batch_items, f.count);
       std::uint64_t vals[kMaxBatch];
-      std::uint16_t got = 0;
-      for (std::uint16_t i = 0; i < f.count; ++i) {
-        std::uint64_t v = 0;
-        bool ok = h.try_dequeue(v);
-        // Bounded retry only while empty-handed: once something is going
-        // back, an empty queue ends the batch instead of stalling it.
-        for (unsigned r = 0; !ok && got == 0 && r < cfg_.retries; ++r) {
-          park(cfg_.park_us);
-          ok = h.try_dequeue(v);
-        }
-        if (!ok) break;
-        ledger_deliver(v);
-        vals[got++] = v;
+      // Bulk path: one bulk dequeue fills the response. Bounded retry
+      // only while empty-handed: once something is going back, an empty
+      // queue ends the batch instead of stalling it.
+      std::uint16_t got =
+          static_cast<std::uint16_t>(h.try_dequeue_bulk(vals, f.count));
+      for (unsigned r = 0; got == 0 && f.count > 0 && r < cfg_.retries;
+           ++r) {
+        park(cfg_.park_us);
+        got = static_cast<std::uint16_t>(h.try_dequeue_bulk(vals, f.count));
       }
+      // Delivery window (docs/server.md): each value is ledger_delivered
+      // HERE, before the response frame is flushed — a connection that
+      // dies in between loses it client-side.
+      for (std::uint16_t i = 0; i < got; ++i) ledger_deliver(vals[i]);
       deq_ok_.fetch_add(got, std::memory_order_relaxed);
       const Status st = got == f.count ? Status::kOk : Status::kWouldBlock;
       if (st == Status::kWouldBlock) {

@@ -103,6 +103,69 @@ class BasicDistinctQueue {
     }
   }
 
+  // Bulk enqueue: claim consecutive tickets t0, t0+1, … by the usual
+  // ⊥_round → v CAS but DEFER the tail advance — one release CAS
+  // `tail_: t0 → t0+k` covers the claimed range at the end instead of one
+  // helping CAS per item. Tickets are allocated by the cell CAS, never by
+  // the counter, so a lagging tail_ only costs other threads help steps.
+  // Each extension step re-checks the fullness gate with a fresh head
+  // read (a stale head is an underestimate — monotone counter — so the
+  // gate can only be conservatively early, which prefix semantics allow).
+  std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                               std::size_t n) noexcept {
+    if (n == 0) return 0;
+    assert((vs[0] & kBotBit) == 0 && "values must keep bit 63 clear");
+    telemetry::count(telemetry::Counter::k_enq_attempt);
+    Backoff backoff;
+    std::uint64_t t0;
+    for (;;) {  // first item: full scalar protocol, advance deferred
+      const std::uint64_t t = tail_.load(O::acquire);
+      const std::uint64_t h = head_.load(O::acquire);
+      std::uint64_t cur = cells_[t % cap_].load(O::acquire);
+      if (t != tail_.load(O::acquire)) continue;
+      const std::uint64_t round = t / cap_;
+      if (is_bot(cur)) {
+        if (t - h >= cap_) return 0;
+        if (bot_round(cur) == round) {
+          if (cells_[t % cap_].compare_exchange_strong(cur, vs[0], O::acq_rel,
+                                                       O::relaxed)) {
+            t0 = t;
+            break;
+          }
+          telemetry::count(telemetry::Counter::k_cas_fail);
+        }
+        backoff.pause();
+        continue;
+      }
+      if (t - h >= cap_) return 0;
+      advance(tail_, t);
+    }
+    std::size_t k = 1;
+    while (k < n && k < cap_) {
+      const std::uint64_t t = t0 + k;
+      const std::uint64_t round = t / cap_;
+      // Fresh fullness gate per step — same hazard as the scalar path's
+      // empty-cell gate (a wrapped write under a still-served ticket).
+      const std::uint64_t h = head_.load(O::acquire);
+      if (t - h >= cap_) break;
+      std::uint64_t cur = cells_[t % cap_].load(O::acquire);
+      if (!is_bot(cur) || bot_round(cur) != round) break;
+      // Same release half as the scalar claim: publishes vs[k] to the
+      // dequeuer's acquire cell load.
+      if (!cells_[t % cap_].compare_exchange_strong(cur, vs[k], O::acq_rel,
+                                                    O::relaxed)) {
+        telemetry::count(telemetry::Counter::k_cas_fail);
+        break;
+      }
+      ++k;
+    }
+    // One release CAS covers the claimed range (helping semantics: losing
+    // to an earlier helper is harmless).
+    std::uint64_t expected = t0;
+    tail_.compare_exchange_strong(expected, t0 + k, O::release, O::relaxed);
+    return k;
+  }
+
   bool try_dequeue(std::uint64_t& out) noexcept {
     telemetry::count(telemetry::Counter::k_deq_attempt);
     Backoff backoff;
@@ -141,6 +204,69 @@ class BasicDistinctQueue {
     }
   }
 
+  // Bulk dequeue mirror, with one extra per-step check the rounds force
+  // on this ring: a value word carries NO round (that is the Θ(1) trick),
+  // so before vacating ticket h0+k we must know the value we read is
+  // round r's and not a wrapped round-(r+1) re-enqueue. The scalar path
+  // brackets its cell read with `h == head_.load()`; here the claimed
+  // prefix is already vacated, so helpers may legally advance head_ up to
+  // h0+k — the bracket becomes `head_.load() ≤ h0+k` AFTER the cell read.
+  // A round-(r+1) enqueue of this slot must first pass the fullness gate,
+  // which requires observing head_ > h0+k; the monotone counter then says
+  // that gate passed after our confirm, hence after our cell read — so
+  // the value we saw was round r's. The cell CAS arbitrates same-round
+  // races as usual.
+  std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) noexcept {
+    if (n == 0) return 0;
+    telemetry::count(telemetry::Counter::k_deq_attempt);
+    Backoff backoff;
+    std::uint64_t h0;
+    for (;;) {  // first item: full scalar protocol, advance deferred
+      const std::uint64_t h = head_.load(O::acquire);
+      const std::uint64_t t = tail_.load(O::acquire);
+      std::uint64_t cur = cells_[h % cap_].load(O::acquire);
+      if (h != head_.load(O::acquire)) continue;
+      const std::uint64_t round = h / cap_;
+      if (!is_bot(cur)) {
+        if (cells_[h % cap_].compare_exchange_strong(
+                cur, bot(round + 1), O::acq_rel, O::relaxed)) {
+          out[0] = cur;
+          h0 = h;
+          break;
+        }
+        telemetry::count(telemetry::Counter::k_cas_fail);
+        backoff.pause();
+        continue;
+      }
+      if (bot_round(cur) == round + 1) {
+        advance(head_, h);
+        continue;
+      }
+      if (t <= h) return 0;  // empty
+      backoff.pause();
+    }
+    std::size_t k = 1;
+    while (k < n && k < cap_) {
+      const std::uint64_t h = h0 + k;
+      const std::uint64_t round = h / cap_;
+      std::uint64_t cur = cells_[h % cap_].load(O::acquire);
+      if (is_bot(cur)) break;  // not yet published (or already vacated)
+      // Wrap bracket (see header comment): confirm head_ has not passed
+      // this ticket — otherwise cur may be a round-(r+1) value.
+      if (head_.load(O::acquire) > h) break;
+      if (!cells_[h % cap_].compare_exchange_strong(
+              cur, bot(round + 1), O::acq_rel, O::relaxed)) {
+        telemetry::count(telemetry::Counter::k_cas_fail);
+        break;
+      }
+      out[k] = cur;
+      ++k;
+    }
+    std::uint64_t expected = h0;
+    head_.compare_exchange_strong(expected, h0 + k, O::release, O::relaxed);
+    return k;
+  }
+
   // Uniform per-thread access point (stateless for this queue).
   class Handle {
    public:
@@ -148,6 +274,13 @@ class BasicDistinctQueue {
     bool try_enqueue(std::uint64_t v) noexcept { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) noexcept {
       return q_.try_dequeue(out);
+    }
+    std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                                 std::size_t n) noexcept {
+      return q_.try_enqueue_bulk(vs, n);
+    }
+    std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) noexcept {
+      return q_.try_dequeue_bulk(out, n);
     }
 
    private:

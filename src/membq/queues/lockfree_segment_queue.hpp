@@ -119,6 +119,12 @@ class LockFreeSegmentQueue {
 
     bool try_enqueue(std::uint64_t v) { return q_.enqueue(h_, v); }
     bool try_dequeue(std::uint64_t& out) { return q_.dequeue(h_, out); }
+    std::size_t try_enqueue_bulk(const std::uint64_t* vs, std::size_t n) {
+      return q_.enqueue_bulk(h_, vs, n);
+    }
+    std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) {
+      return q_.dequeue_bulk(h_, out, n);
+    }
 
     // Drain this thread's reclamation backlog (tests, shutdown).
     void flush_reclamation() { h_.flush(); }
@@ -225,6 +231,93 @@ class LockFreeSegmentQueue {
     }
   }
 
+  // Bulk enqueue: ONE size_ reservation covers the whole accepted prefix
+  // and the fast path grabs write tickets in ranges (`enq.fetch_add(m)`
+  // instead of one FAA per item). The slot protocol is unchanged — each
+  // claimed ticket still does its kEmpty → value CAS, a poisoned slot
+  // just moves the pending value to the next ticket — so dequeuers see
+  // exactly the scalar wire state. After the reservation succeeds the
+  // enqueue cannot fail (same argument as the scalar path), so the
+  // return value is the reservation's accepted prefix.
+  std::size_t enqueue_bulk(typename Domain::ThreadHandle& h,
+                           const std::uint64_t* vs, std::size_t n) {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
+    if (n == 0) return 0;
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < n; ++i) {
+      assert((vs[i] & kEmpty) == 0 && "bit 63 is reserved for slot encodings");
+    }
+#endif
+    // One reservation for the batch; back out the part past capacity.
+    const std::uint64_t old = size_.fetch_add(n, std::memory_order_acq_rel);
+    std::size_t accept = 0;
+    if (old < static_cast<std::uint64_t>(cap_)) {
+      const std::uint64_t room = static_cast<std::uint64_t>(cap_) - old;
+      accept = room < n ? static_cast<std::size_t>(room) : n;
+    }
+    if (accept < n) {
+      size_.fetch_sub(n - accept, std::memory_order_acq_rel);
+    }
+    if (accept == 0) return 0;
+
+    typename Domain::ThreadHandle::Guard g(h);
+    std::size_t placed = 0;
+    while (placed < accept) {
+      Segment* t = h.protect(0, tail_);
+      std::uint64_t i = t->enq.load(std::memory_order_acquire);
+      if (i < seg_size_) {
+        // Ticket-range grab: claim up to the remaining batch in one FAA.
+        // Tickets past seg_size_ are overshoot, burned exactly as the
+        // scalar overshoot is.
+        const std::size_t want = accept - placed;
+        const std::uint64_t avail = seg_size_ - i;
+        const std::uint64_t m =
+            want < avail ? static_cast<std::uint64_t>(want) : avail;
+        i = t->enq.fetch_add(m, std::memory_order_acq_rel);
+        for (std::uint64_t j = i; j < i + m && j < seg_size_; ++j) {
+          std::uint64_t empty = kEmpty;
+          if (t->slots()[j].compare_exchange_strong(
+                  empty, vs[placed], std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            ++placed;
+            if (placed == accept) break;
+          } else {
+            // Poisoned by an impatient dequeuer; the value moves on to
+            // the next claimed ticket.
+            telemetry::count(telemetry::Counter::k_cas_fail);
+          }
+        }
+        continue;
+      }
+      Segment* next = t->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        tail_.compare_exchange_strong(t, next);
+        continue;
+      }
+      // Append with as much of the pending batch pre-installed as fits.
+      Segment* s = alloc_segment();
+      const std::size_t m = accept - placed < seg_size_ ? accept - placed
+                                                        : seg_size_;
+      for (std::size_t j = 0; j < m; ++j) {
+        // Relaxed: s is thread-private until the append CAS releases it.
+        s->slots()[j].store(vs[placed + j], std::memory_order_relaxed);
+      }
+      s->enq.store(m, std::memory_order_relaxed);
+      Segment* expected = nullptr;
+      if (t->next.compare_exchange_strong(expected, s,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        tail_.compare_exchange_strong(t, s);
+        placed += m;
+        continue;
+      }
+      Segment::destroy(s);  // lost the append race; s was never published
+      telemetry::count(telemetry::Counter::k_cas_fail);
+      tail_.compare_exchange_strong(t, expected);
+    }
+    return accept;
+  }
+
   bool dequeue(typename Domain::ThreadHandle& h, std::uint64_t& out) {
     telemetry::count(telemetry::Counter::k_deq_attempt);
     typename Domain::ThreadHandle::Guard g(h);
@@ -273,6 +366,69 @@ class LockFreeSegmentQueue {
       size_.fetch_sub(1, std::memory_order_acq_rel);
       return true;
     }
+  }
+
+  // Bulk dequeue: grab read tickets in ranges (`deq.fetch_add(take)`) and
+  // decrement size_ ONCE per round instead of per item. Each claimed
+  // ticket runs the scalar slot protocol (spin, then poison an absent
+  // enqueuer); burned tickets simply yield no value. Returns the received
+  // prefix; stops at the scalar path's empty verdict.
+  std::size_t dequeue_bulk(typename Domain::ThreadHandle& h,
+                           std::uint64_t* out, std::size_t n) {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
+    if (n == 0) return 0;
+    typename Domain::ThreadHandle::Guard g(h);
+    std::size_t got = 0;
+    while (got < n) {
+      Segment* hd = h.protect(0, head_);
+      const std::uint64_t d = hd->deq.load(std::memory_order_acquire);
+      const std::uint64_t e = hd->enq.load(std::memory_order_acquire);
+      const std::uint64_t lim = e < seg_size_ ? e : seg_size_;
+      if (d >= lim) {
+        if (lim < seg_size_) break;  // head segment not yet full: empty
+        Segment* next = hd->next.load(std::memory_order_acquire);
+        if (next == nullptr) break;  // fully drained, nothing after
+        Segment* t = tail_.load(std::memory_order_acquire);
+        if (t == hd) tail_.compare_exchange_strong(t, next);
+        Segment* expected = hd;
+        if (head_.compare_exchange_strong(expected, next)) {
+          h.retire(hd, segment_bytes(), &Segment::destroy);
+        }
+        continue;
+      }
+      // Ticket-range grab: up to the published window in one FAA.
+      const std::uint64_t want = static_cast<std::uint64_t>(n - got);
+      const std::uint64_t avail = lim - d;
+      const std::uint64_t take = want < avail ? want : avail;
+      const std::uint64_t i =
+          hd->deq.fetch_add(take, std::memory_order_acq_rel);
+      std::size_t round = 0;
+      for (std::uint64_t j = i; j < i + take && j < seg_size_; ++j) {
+        auto& slot = hd->slots()[j];
+        std::uint64_t v = slot.load(std::memory_order_acquire);
+        for (int spin = 0; v == kEmpty && spin < kSpinsBeforePoison; ++spin) {
+          if (spin == kSpinsBeforePoison / 2) std::this_thread::yield();
+          v = slot.load(std::memory_order_acquire);
+        }
+        if (v == kEmpty) {
+          std::uint64_t empty = kEmpty;
+          if (slot.compare_exchange_strong(empty, kPoison,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            continue;  // ticket burned; its enqueuer retries elsewhere
+          }
+          v = empty;  // the CAS lost because the value just landed
+        }
+        out[got + round] = v;
+        ++round;
+      }
+      if (round > 0) {
+        got += round;
+        // One decrement per round — the scalar path pays one per item.
+        size_.fetch_sub(round, std::memory_order_acq_rel);
+      }
+    }
+    return got;
   }
 
   const std::size_t cap_;

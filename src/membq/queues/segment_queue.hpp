@@ -110,11 +110,54 @@ class SegmentQueue {
     return true;
   }
 
+  // Bulk ops: the whole batch under ONE lock acquisition — for a mutex
+  // queue the lock is the publication cost, so this is its amortization.
+  std::size_t try_enqueue_bulk(const std::uint64_t* vs, std::size_t n) {
+    telemetry::count(telemetry::Counter::k_enq_attempt);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t done = 0;
+    while (done < n && size_ < cap_) {
+      if (tail_idx_ == seg_size_) {
+        Segment* s = take_segment();
+        tail_seg_->next = s;
+        tail_seg_ = s;
+        tail_idx_ = 0;
+      }
+      tail_seg_->slots()[tail_idx_++] = vs[done++];
+      ++size_;
+    }
+    return done;
+  }
+
+  std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) {
+    telemetry::count(telemetry::Counter::k_deq_attempt);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t done = 0;
+    while (done < n && size_ > 0) {
+      if (head_idx_ == seg_size_) {
+        Segment* drained = head_seg_;
+        head_seg_ = head_seg_->next;
+        assert(head_seg_ != nullptr);
+        recycle_segment(drained);
+        head_idx_ = 0;
+      }
+      out[done++] = head_seg_->slots()[head_idx_++];
+      --size_;
+    }
+    return done;
+  }
+
   class Handle {
    public:
     explicit Handle(SegmentQueue& q) noexcept : q_(q) {}
     bool try_enqueue(std::uint64_t v) { return q_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) { return q_.try_dequeue(out); }
+    std::size_t try_enqueue_bulk(const std::uint64_t* vs, std::size_t n) {
+      return q_.try_enqueue_bulk(vs, n);
+    }
+    std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) {
+      return q_.try_dequeue_bulk(out, n);
+    }
 
    private:
     SegmentQueue& q_;

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "telemetry/counters.hpp"
+#include "workload/bulk.hpp"
 
 namespace membq {
 namespace sharded {
@@ -70,9 +71,12 @@ class ShardedQueue {
   // exists so run_workload's generic plumbing compiles.
   static constexpr char kName[] = "sharded";
 
-  // `make(per_shard_capacity)` builds one shard. The total capacity is
-  // shards × ⌊capacity / shards⌋ (at least 1 per shard): the router never
-  // fakes a fractional bound by leaving one shard a different size.
+  // `make(per_shard_capacity)` builds one shard. The per-shard bound is
+  // ⌈capacity / shards⌉ (at least 1), so the total capacity is
+  // shards × ⌈capacity / shards⌉ ≥ the requested capacity — a bounded
+  // queue may legally hold a little more than asked, never less. All
+  // shards are the same size: the router never fakes a fractional bound
+  // by leaving one shard a different size.
   // The floor of 1 is arithmetic only — a base with a stricter minimum
   // keeps its own requirement. In particular per-slot-sequence rings
   // (Vyukov) need capacity ≥ 2: at one slot the "enqueued round r"
@@ -81,7 +85,8 @@ class ShardedQueue {
   template <class MakeShard>
   ShardedQueue(std::size_t capacity, std::size_t shards, MakeShard make)
       : per_shard_(std::max<std::size_t>(
-            1, capacity / std::max<std::size_t>(1, shards))) {
+            1, (capacity + std::max<std::size_t>(1, shards) - 1) /
+                   std::max<std::size_t>(1, shards))) {
     const std::size_t n = std::max<std::size_t>(1, shards);
     lens_ = std::make_unique<PaddedLen[]>(n);
     shards_.reserve(n);
@@ -159,6 +164,48 @@ class ShardedQueue {
       return false;
     }
 
+    // Bulk ops, same router in batch form. The home shard gets the whole
+    // batch first; only the refused SUFFIX spills (po2 start, ring
+    // sweep). Each shard thus receives a contiguous, in-order slice of
+    // the batch through one bulk call, so the per-producer-per-shard
+    // FIFO contract is preserved verbatim — a shard's slice is enqueued
+    // through the base queue's own order-preserving (bulk or per-item)
+    // path. Telemetry counts items, the batch analogue of the scalar
+    // counters.
+    std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                                 std::size_t n) noexcept {
+      const std::size_t nsh = q_.shards_.size();
+      std::size_t done = enqueue_bulk_on(home_, vs, n);
+      if (done > 0) {
+        telemetry::count(telemetry::Counter::k_shard_affinity_hit, done);
+      }
+      if (done == n || nsh == 1) return done;
+      const std::size_t start = pick_spill_start(nsh);
+      for (std::size_t i = 0; i < nsh && done < n; ++i) {
+        const std::size_t s = (start + i) % nsh;
+        if (s == home_) continue;
+        done += enqueue_bulk_on(s, vs + done, n - done);
+      }
+      return done;
+    }
+
+    std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) noexcept {
+      const std::size_t nsh = q_.shards_.size();
+      std::size_t got = dequeue_bulk_on(home_, out, n);
+      if (got > 0) {
+        telemetry::count(telemetry::Counter::k_shard_affinity_hit, got);
+      }
+      // Steal sweep from home+1 in ring order for the remainder; a short
+      // batch is returned only after every shard refused the tail.
+      for (std::size_t i = 1; i < nsh && got < n; ++i) {
+        const std::size_t s = (home_ + i) % nsh;
+        const std::size_t k = dequeue_bulk_on(s, out + got, n - got);
+        if (k > 0) telemetry::count(telemetry::Counter::k_shard_steal, k);
+        got += k;
+      }
+      return got;
+    }
+
     std::size_t home_shard() const noexcept { return home_; }
 
     // Routing observers for the relaxed-FIFO model checker: the shard the
@@ -180,6 +227,28 @@ class ShardedQueue {
       q_.lens_[s].n.fetch_sub(1, std::memory_order_relaxed);
       last_deq_ = s;
       return true;
+    }
+
+    std::size_t enqueue_bulk_on(std::size_t s, const std::uint64_t* vs,
+                                std::size_t n) noexcept {
+      const std::size_t k = workload::enqueue_bulk(*handles_[s], vs, n);
+      if (k > 0) {
+        q_.lens_[s].n.fetch_add(static_cast<std::int64_t>(k),
+                                std::memory_order_relaxed);
+        last_enq_ = s;
+      }
+      return k;
+    }
+
+    std::size_t dequeue_bulk_on(std::size_t s, std::uint64_t* out,
+                                std::size_t n) noexcept {
+      const std::size_t k = workload::dequeue_bulk(*handles_[s], out, n);
+      if (k > 0) {
+        q_.lens_[s].n.fetch_sub(static_cast<std::int64_t>(k),
+                                std::memory_order_relaxed);
+        last_deq_ = s;
+      }
+      return k;
     }
 
     std::size_t pick_spill_start(std::size_t n) noexcept {

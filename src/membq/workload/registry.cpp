@@ -19,6 +19,7 @@
 #include "reclaim/reclaim.hpp"
 #include "sharded/sharded_queue.hpp"
 #include "sync/llsc.hpp"
+#include "workload/bulk.hpp"
 
 namespace membq {
 namespace workload {
@@ -253,6 +254,14 @@ class DynQueueOf final : public DynQueue {
     explicit H(Q& q) : h_(q) {}
     bool try_enqueue(std::uint64_t v) override { return h_.try_enqueue(v); }
     bool try_dequeue(std::uint64_t& out) override { return h_.try_dequeue(out); }
+    // Native bulk when Q::Handle has it, per-item prefix loop otherwise.
+    std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                                 std::size_t n) override {
+      return workload::enqueue_bulk(h_, vs, n);
+    }
+    std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) override {
+      return workload::dequeue_bulk(h_, out, n);
+    }
 
    private:
     typename Q::Handle h_;

@@ -52,6 +52,22 @@ class DynQueue {
     virtual ~Handle() = default;
     virtual bool try_enqueue(std::uint64_t v) = 0;
     virtual bool try_dequeue(std::uint64_t& out) = 0;
+
+    // Bulk ops (workload/bulk.hpp contract: best-effort prefix, short
+    // count = full/empty, never a hole). The defaults are the correct
+    // per-item loops, so every registry row supports bulk callers;
+    // DynQueueOf overrides them to reach a queue's native bulk path.
+    virtual std::size_t try_enqueue_bulk(const std::uint64_t* vs,
+                                         std::size_t n) {
+      std::size_t i = 0;
+      while (i < n && try_enqueue(vs[i])) ++i;
+      return i;
+    }
+    virtual std::size_t try_dequeue_bulk(std::uint64_t* out, std::size_t n) {
+      std::size_t i = 0;
+      while (i < n && try_dequeue(out[i])) ++i;
+      return i;
+    }
   };
 
   virtual ~DynQueue() = default;

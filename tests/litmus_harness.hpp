@@ -211,5 +211,89 @@ void stress_handoff(const char* site, Q& q, std::size_t producers,
       << " after all produced values were consumed (duplicate element)";
 }
 
+// Bulk-op twin of stress_handoff: producers push their quota through
+// try_enqueue_bulk (variable batch fill, retrying the refused suffix) and
+// consumers drain through try_dequeue_bulk — except cbatch <= 1, which
+// uses the scalar try_dequeue so the scenario checks the bulk *release*
+// sweep against a plain per-slot consumer *acquire* (the pairing that
+// breaks if bulk publication collapses to one trailing store). The ledger
+// checks are identical to the scalar harness: a batched path that tears a
+// value, skips a slot's publication, or double-delivers under wrap shows
+// up as invented / lost / duplicated values.
+template <class Q>
+void stress_handoff_bulk(const char* site, Q& q, std::size_t producers,
+                         std::size_t consumers, std::size_t per_producer,
+                         std::size_t pbatch, std::size_t cbatch,
+                         std::uint64_t seed) {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(producers) * per_producer;
+  HandoffLedger ledger(producers, per_producer, consumers);
+  std::atomic<std::uint64_t> consumed_total{0};
+  SpinBarrier barrier(producers + consumers);
+  std::vector<std::thread> threads;
+  threads.reserve(producers + consumers);
+
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      typename Q::Handle h(q);
+      Schedule sch(seed, p);
+      std::vector<std::uint64_t> buf(pbatch > 0 ? pbatch : 1);
+      barrier.arrive_and_wait();
+      std::uint64_t seq = 0;
+      while (seq < per_producer) {
+        // Fill up to a full batch, then land it; the accepted count is a
+        // PREFIX, so the refused suffix shifts down and retries — exactly
+        // the contract the server's ENQ retry loop depends on.
+        std::size_t fill = 0;
+        while (fill < buf.size() && seq + fill < per_producer) {
+          buf[fill] = HandoffLedger::tag(p, seq + fill);
+          ++fill;
+        }
+        std::size_t done = 0;
+        while (done < fill) {
+          const std::size_t k =
+              h.try_enqueue_bulk(buf.data() + done, fill - done);
+          done += k;
+          if (k == 0) sch.step();
+        }
+        seq += fill;
+        sch.step();
+      }
+    });
+  }
+  for (std::size_t c = 0; c < consumers; ++c) {
+    threads.emplace_back([&, c] {
+      typename Q::Handle h(q);
+      Schedule sch(seed, producers + c);
+      std::vector<std::uint64_t> buf(cbatch > 1 ? cbatch : 1);
+      barrier.arrive_and_wait();
+      while (consumed_total.load(std::memory_order_acquire) < total) {
+        std::size_t k = 0;
+        if (cbatch <= 1) {
+          // Scalar consumer against bulk producers: each slot's own
+          // acquire load must pair with the bulk publication sweep.
+          k = h.try_dequeue(buf[0]) ? 1 : 0;
+        } else {
+          k = h.try_dequeue_bulk(buf.data(), buf.size());
+        }
+        if (k == 0) {
+          sch.step();
+          continue;
+        }
+        for (std::size_t i = 0; i < k; ++i) ledger.consumed(c, buf[i]);
+        consumed_total.fetch_add(k, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ledger.check(site);
+
+  typename Q::Handle h(q);
+  std::uint64_t out = 0;
+  ASSERT_FALSE(h.try_dequeue(out))
+      << site << ": queue still holds 0x" << std::hex << out << std::dec
+      << " after all produced values were consumed (duplicate element)";
+}
+
 }  // namespace litmus
 }  // namespace membq

@@ -38,6 +38,7 @@
 #include "adversary/history.hpp"
 #include "adversary/linearizability.hpp"
 #include "common/barrier.hpp"
+#include "workload/bulk.hpp"
 #include "workload/driver.hpp"
 
 namespace membq {
@@ -116,6 +117,124 @@ void check_against_model(Q& q, std::size_t capacity, std::uint64_t seed,
   }
   ASSERT_FALSE(h.try_dequeue(out))
       << "queue holds unmodeled value " << out << " (seed " << seed << ")";
+}
+
+// Bulk-op exactness: random bulk sizes replayed against the deque model
+// AS ITEM SEQUENCES — a bulk enqueue of k accepted values is the model's
+// k push_backs, a bulk dequeue is k front pops, in order. Dispatch goes
+// through workload::enqueue_bulk/dequeue_bulk, so rows with a native
+// bulk path check the one-reservation code and rows without check the
+// generic per-item fallback against the same spec. Single-handle, the
+// best-effort prefix contract collapses to exactness: with no
+// contention, the accepted/received count must be exactly what the
+// bounded queue has room/items for.
+template <class Q>
+void check_bulk_against_model(Q& q, std::size_t capacity, std::uint64_t seed,
+                              std::size_t ops, std::size_t max_batch,
+                              Values values = Values::kDistinct) {
+  typename Q::Handle h(q);
+  std::deque<std::uint64_t> model;
+  std::uint64_t rng = seed != 0 ? seed : 1;
+  std::uint64_t next_value = 1;
+  std::vector<std::uint64_t> buf(max_batch);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::size_t req = 1 + next_rng(rng) % max_batch;
+    const bool do_enqueue = (next_rng(rng) % 100) < 55;
+    if (do_enqueue) {
+      for (std::size_t j = 0; j < req; ++j) {
+        buf[j] = values == Values::kDistinct ? next_value++
+                                             : 1 + (next_rng(rng) % 3);
+      }
+      const std::size_t k = workload::enqueue_bulk(h, buf.data(), req);
+      const std::size_t room = capacity - model.size();
+      ASSERT_EQ(k, req < room ? req : room)
+          << "op " << i << ": bulk enqueue(" << req << ") accepted " << k
+          << " with " << model.size() << "/" << capacity
+          << " queued (seed " << seed << ")";
+      for (std::size_t j = 0; j < k; ++j) model.push_back(buf[j]);
+    } else {
+      const std::size_t k = workload::dequeue_bulk(h, buf.data(), req);
+      const std::size_t held = model.size();
+      ASSERT_EQ(k, req < held ? req : held)
+          << "op " << i << ": bulk dequeue(" << req << ") returned " << k
+          << " with " << held << " queued (seed " << seed << ")";
+      for (std::size_t j = 0; j < k; ++j) {
+        ASSERT_EQ(buf[j], model.front())
+            << "op " << i << ": bulk dequeue item " << j
+            << " broke FIFO (seed " << seed << ")";
+        model.pop_front();
+      }
+    }
+  }
+  // Drain through the bulk path and check the leftovers.
+  while (!model.empty()) {
+    const std::size_t k = workload::dequeue_bulk(h, buf.data(), max_batch);
+    ASSERT_GT(k, 0u) << "queue lost " << model.size()
+                     << " modeled values in a bulk drain (seed " << seed
+                     << ")";
+    for (std::size_t j = 0; j < k; ++j) {
+      ASSERT_FALSE(model.empty())
+          << "bulk drain over-delivered (seed " << seed << ")";
+      ASSERT_EQ(buf[j], model.front()) << "(seed " << seed << ")";
+      model.pop_front();
+    }
+  }
+  std::uint64_t out = 0;
+  ASSERT_FALSE(h.try_dequeue(out))
+      << "queue holds unmodeled value " << out << " (seed " << seed << ")";
+}
+
+// Bulk twin for the sharded rows' relaxed contract: the router may
+// reorder across shards, so the reference is a SET, not a deque — the
+// checks are exact counts (single-handle, every shard's bulk op is
+// exact), exactly-once, no invented values, and no loss after a drain.
+template <class SQ>
+void check_sharded_bulk(SQ& q, std::uint64_t seed, std::size_t ops,
+                        std::size_t max_batch) {
+  typename SQ::Handle h(q);
+  std::set<std::uint64_t> outstanding;
+  const std::size_t cap = q.capacity();
+  std::size_t total = 0;
+  std::uint64_t rng = seed != 0 ? seed : 1;
+  std::uint64_t next_value = 1;
+  std::vector<std::uint64_t> buf(max_batch);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::size_t req = 1 + next_rng(rng) % max_batch;
+    const bool do_enqueue = (next_rng(rng) % 100) < 55;
+    if (do_enqueue) {
+      for (std::size_t j = 0; j < req; ++j) buf[j] = next_value++;
+      const std::size_t k = h.try_enqueue_bulk(buf.data(), req);
+      const std::size_t room = cap - total;
+      ASSERT_EQ(k, req < room ? req : room)
+          << "op " << i << ": sharded bulk enqueue(" << req << ") accepted "
+          << k << " with " << total << "/" << cap << " queued (seed "
+          << seed << ") — the spill sweep must visit every shard";
+      for (std::size_t j = 0; j < k; ++j) outstanding.insert(buf[j]);
+      total += k;
+    } else {
+      const std::size_t k = h.try_dequeue_bulk(buf.data(), req);
+      ASSERT_EQ(k, req < total ? req : total)
+          << "op " << i << ": sharded bulk dequeue(" << req << ") returned "
+          << k << " with " << total << " queued (seed " << seed
+          << ") — the steal sweep must visit every shard";
+      for (std::size_t j = 0; j < k; ++j) {
+        ASSERT_EQ(outstanding.erase(buf[j]), 1u)
+            << "op " << i << ": bulk dequeue delivered " << buf[j]
+            << " twice or invented it (seed " << seed << ")";
+      }
+      total -= k;
+    }
+  }
+  while (total > 0) {
+    const std::size_t k = h.try_dequeue_bulk(buf.data(), max_batch);
+    ASSERT_GT(k, 0u) << "sharded bulk drain lost " << total
+                     << " values (seed " << seed << ")";
+    for (std::size_t j = 0; j < k; ++j) {
+      ASSERT_EQ(outstanding.erase(buf[j]), 1u) << "(seed " << seed << ")";
+    }
+    total -= k;
+  }
+  ASSERT_TRUE(outstanding.empty()) << "(seed " << seed << ")";
 }
 
 // Real-thread mixed run recorded as a Herlihy–Wing history. A shared

@@ -246,6 +246,81 @@ TEST(LitmusTest, VyukovTicketVsSlotVisibility) {
   }
 }
 
+// ---- Bulk ops: one-reservation batches, per-slot publication ------------
+
+// Bulk release ↔ consumer ACQUIRE pairing: producers land whole batches
+// (one ticket-range CAS, then a per-slot release sweep) while consumers
+// stay SCALAR — each dequeue acquires only its own slot's seq word. If
+// the bulk publication sweep were a single trailing release store (or a
+// relaxed sweep — the planted-bug check below), slots before the last
+// would hand their plain value word to the consumer without a pairing:
+// an invented/torn value in the ledger, and a plain data race under
+// TSan. (Verified once by planting relaxed stores in the Vyukov bulk
+// sweeps: TSan reported the race on cell.value and this scenario's
+// ledger caught invented values natively.)
+TEST(LitmusTest, BulkPublishToScalarAcquire) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::VyukovQueue q(4);
+    membq::litmus::stress_handoff_bulk(
+        "Vyukov bulk publish -> scalar acquire", q, 2, 2, 2000,
+        /*pbatch=*/3, /*cbatch=*/1, seed);
+  }
+}
+
+// Wrap-around across a reserved range: capacity 4 with batch 3 makes
+// almost every reservation straddle the ring seam, so one batch's slots
+// span two rounds of seq values. A bulk path that computes the published
+// seq from the base ticket instead of per-slot (pos+i+1) corrupts the
+// round handoff exactly here. Bulk on both sides.
+TEST(LitmusTest, BulkWrapAcrossReservedRange) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::VyukovQueue q(4);
+    membq::litmus::stress_handoff_bulk("Vyukov bulk wrap", q, 4, 4, 1200,
+                                       /*pbatch=*/3, /*cbatch=*/3, seed);
+  }
+  for (const std::uint64_t seed : kSeeds) {
+    membq::ScqRing q(4);
+    membq::litmus::stress_handoff_bulk("SCQ bulk cycle wrap", q, 4, 4, 1200,
+                                       /*pbatch=*/3, /*cbatch=*/3, seed);
+  }
+  for (const std::uint64_t seed : kSeeds) {
+    // L2's bulk dequeue must reject wrapped values via the head bracket
+    // (the value word carries no round); the distinct-values ledger tags
+    // make a wrong-round delivery a duplicate or an invented value.
+    membq::DistinctQueue q(4);
+    membq::litmus::stress_handoff_bulk("L2 bulk wrap bracket", q, 4, 4, 1200,
+                                       /*pbatch=*/3, /*cbatch=*/3, seed);
+  }
+}
+
+// Both memory-order policies pinned, mirroring the scalar pinning tests:
+// the bulk paths' audited acq-rel orders and the MEMBQ_SEQCST_RINGS
+// fallback both stay compiled and checked in every build.
+TEST(LitmusTest, BulkPolicyPinnedHandoff) {
+  for (const std::uint64_t seed : kSeeds) {
+    membq::BasicVyukovQueue<membq::RelaxedOrders> q(4);
+    membq::litmus::stress_handoff_bulk("pinned acq-rel vyukov bulk", q, 4, 4,
+                                       800, /*pbatch=*/3, /*cbatch=*/3, seed);
+  }
+  for (const std::uint64_t seed : kSeeds) {
+    membq::BasicVyukovQueue<membq::SeqCstOrders> q(4);
+    membq::litmus::stress_handoff_bulk("pinned seq-cst vyukov bulk", q, 4, 4,
+                                       800, /*pbatch=*/3, /*cbatch=*/3, seed);
+  }
+  {
+    membq::BasicScqRing<membq::RelaxedOrders> q(4);
+    membq::litmus::stress_handoff_bulk("pinned acq-rel scq bulk", q, 4, 4,
+                                       800, /*pbatch=*/3, /*cbatch=*/3,
+                                       kSeeds[0]);
+  }
+  {
+    membq::BasicDistinctQueue<membq::SeqCstOrders> q(4);
+    membq::litmus::stress_handoff_bulk("pinned seq-cst distinct bulk", q, 4,
+                                       4, 800, /*pbatch=*/3, /*cbatch=*/3,
+                                       kSeeds[0]);
+  }
+}
+
 // ---- Role rings (contracts: single consumer / single producer) ----------
 
 TEST(LitmusTest, MpscRoleRingHandoff) {

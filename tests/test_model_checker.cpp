@@ -51,6 +51,13 @@ struct ModelRow {
                      std::initializer_list<std::uint64_t> seeds,
                      Values values)>
       run_histories;
+  // Bulk-op replay (item-sequence semantics against the same reference;
+  // see model_checker.hpp). Every row must provide one — the coverage
+  // guard asserts it, so a queue cannot grow a bulk path (or rely on the
+  // generic fallback) without model coverage.
+  std::function<void(std::size_t cap, std::uint64_t seed, std::size_t ops,
+                     std::size_t max_batch)>
+      run_bulk;
   bool distinct_values_only = false;
 };
 
@@ -63,6 +70,11 @@ ModelRow make_row(std::string name, MakeFn make,
                          std::size_t ops, Values values) {
     auto q = make(cap);
     membq::model::check_against_model(*q, cap, seed, ops, values);
+  };
+  row.run_bulk = [make](std::size_t cap, std::uint64_t seed,
+                        std::size_t ops, std::size_t max_batch) {
+    auto q = make(cap);
+    membq::model::check_bulk_against_model(*q, cap, seed, ops, max_batch);
   };
   row.run_histories = [make](std::size_t cap, std::size_t threads,
                              std::size_t ops_per_thread,
@@ -103,6 +115,11 @@ ModelRow make_sharded_row(std::string name, MakeShard make_shard) {
                          std::size_t ops, Values values) {
     auto q = make(cap);
     membq::model::check_sharded_against_model(*q, seed, ops, values);
+  };
+  row.run_bulk = [make](std::size_t cap, std::uint64_t seed,
+                        std::size_t ops, std::size_t max_batch) {
+    auto q = make(cap);
+    membq::model::check_sharded_bulk(*q, seed, ops, max_batch);
   };
   row.run_histories = [make](std::size_t cap, std::size_t threads,
                              std::size_t ops_per_thread,
@@ -194,11 +211,30 @@ std::vector<ModelRow> model_rows() {
 // without model-based coverage.
 TEST(ModelCheckerTest, CoversEveryRegistryQueue) {
   std::set<std::string> covered;
-  for (const auto& row : model_rows()) covered.insert(row.name);
+  for (const auto& row : model_rows()) {
+    covered.insert(row.name);
+    // Bulk ops are part of every queue's surface now (natively or via
+    // the generic fallback), so every row must carry bulk replay too.
+    EXPECT_TRUE(static_cast<bool>(row.run_bulk))
+        << "model row '" << row.name << "' has no bulk-op replay";
+  }
   for (const auto& spec : membq::workload::all_queues(kThreads)) {
     EXPECT_TRUE(covered.count(spec.name))
         << "registry queue '" << spec.name
         << "' has no model-checker row in test_model_checker.cpp";
+  }
+}
+
+// Bulk ops replayed as item sequences: batches larger than the tiny
+// capacity force the clamped-prefix paths, the cap-16 run walks longer
+// in-order stretches through each queue's native reservation code.
+TEST(ModelCheckerTest, BulkOpsMatchDequeModel) {
+  for (const auto& row : model_rows()) {
+    SCOPED_TRACE(row.name);
+    for (std::uint64_t seed : {51ull, 52ull}) {
+      row.run_bulk(4, seed, 2500, /*max_batch=*/6);
+    }
+    row.run_bulk(16, 61, 3000, /*max_batch=*/5);
   }
 }
 

@@ -47,15 +47,17 @@ TEST(ShardedTest, CapacityIsShardCountTimesPerShardBound) {
   EXPECT_EQ(q->per_shard_capacity(), 4u);
   EXPECT_EQ(q->capacity(), 16u);
 
-  // Non-divisible capacities floor to shards × ⌊C/N⌋ — the bound is never
-  // faked with a ragged shard.
+  // Non-divisible capacities round UP to shards × ⌈C/N⌉ — the total bound
+  // is never BELOW the requested capacity (it used to floor, silently
+  // shrinking a cap-10 request to 8 slots).
   auto ragged = make_vyukov(10, 4);
-  EXPECT_EQ(ragged->per_shard_capacity(), 2u);
-  EXPECT_EQ(ragged->capacity(), 8u);
+  EXPECT_EQ(ragged->per_shard_capacity(), 3u);
+  EXPECT_EQ(ragged->capacity(), 12u);
+  EXPECT_GE(ragged->capacity(), 10u);
 
-  // Degenerate requests still provision one slot per shard (arithmetic
-  // floor only — a Vyukov base needs per-shard ≥ 2 to actually hold the
-  // bound, so this checks the accessors, not occupancy).
+  // Degenerate requests still provision one slot per shard (a Vyukov base
+  // needs per-shard ≥ 2 to actually hold the bound, so this checks the
+  // accessors, not occupancy).
   auto tiny = make_vyukov(2, 4);
   EXPECT_EQ(tiny->per_shard_capacity(), 1u);
   EXPECT_EQ(tiny->capacity(), 4u);
