@@ -19,6 +19,9 @@
 //   --ops=N            override the bench's per-thread op count
 //   --mix=NAME         override the workload mix (balanced, enq-heavy, ...)
 //   --batch=N          override the bench's items-per-op batch size
+//   --pin-policy=P     worker pinning: none | cores-first | sequential
+//   --mem-policy=P     queue placement: none | first-touch | interleave |
+//                      bind[:node], optional :huge / :nohuge suffix
 //   --short            scale op counts down ~8x (CI smoke mode)
 //   --out=PATH         write the JSON to PATH
 //   --out-dir=DIR      write to DIR/BENCH_<name>.json (default ".")
@@ -54,6 +57,12 @@ struct Options {
   workload::Mix mix = workload::Mix::kBalanced;
   bool has_batch = false;
   std::size_t batch = 1;             // items per op (--batch override)
+  // Placement axes. The Harness constructor installs these as the
+  // process-wide defaults (set_default_pin_policy /
+  // set_default_mem_policy), which RunConfig and the queue constructors
+  // pick up — so a bench needs no per-run plumbing to honor them.
+  PinPolicy pin = PinPolicy::kNone;
+  topo::MemPolicySpec mem;
   bool short_mode = false;
   bool json = true;
   std::string out_path;        // explicit --out

@@ -27,8 +27,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
+#include "common/topo_alloc.hpp"
 #include "sync/backoff.hpp"
 #include "telemetry/counters.hpp"
 #include "sync/memory_order.hpp"
@@ -40,14 +40,19 @@ class BasicScqRing {
  public:
   static constexpr char kName[] = "scq(faa-ring)";
 
-  explicit BasicScqRing(std::size_t capacity)
-      : cap_(capacity), cells_(capacity) {
+  explicit BasicScqRing(
+      std::size_t capacity,
+      const topo::MemPolicySpec& pol = topo::default_mem_policy())
+      : cap_(capacity), cells_(capacity, pol) {
     assert(capacity > 0);
     // Pre-publication initialization.
     for (auto& c : cells_) c.store(Entry{0, 0}, O::init);
   }
 
   std::size_t capacity() const noexcept { return cap_; }
+
+  // Where the slot array actually landed (policy, hugepage, node).
+  topo::Placement placement() const noexcept { return cells_.placement(); }
 
   bool try_enqueue(std::uint64_t v) noexcept {
     telemetry::count(telemetry::Counter::k_enq_attempt);
@@ -263,7 +268,7 @@ class BasicScqRing {
   }
 
   const std::size_t cap_;
-  std::vector<std::atomic<Entry>> cells_;
+  topo::TopoArray<std::atomic<Entry>> cells_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };

@@ -26,8 +26,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
+#include "common/topo_alloc.hpp"
 #include "sync/memory_order.hpp"
 #include "telemetry/counters.hpp"
 
@@ -38,8 +38,10 @@ class BasicVyukovQueue {
  public:
   static constexpr char kName[] = "vyukov(perslot-seq)";
 
-  explicit BasicVyukovQueue(std::size_t capacity)
-      : cap_(capacity), cells_(capacity) {
+  explicit BasicVyukovQueue(
+      std::size_t capacity,
+      const topo::MemPolicySpec& pol = topo::default_mem_policy())
+      : cap_(capacity), cells_(capacity, pol) {
     assert(capacity > 0);
     for (std::size_t i = 0; i < capacity; ++i) {
       // Pre-publication initialization.
@@ -48,6 +50,9 @@ class BasicVyukovQueue {
   }
 
   std::size_t capacity() const noexcept { return cap_; }
+
+  // Where the slot array actually landed (policy, hugepage, node).
+  topo::Placement placement() const noexcept { return cells_.placement(); }
 
   bool try_enqueue(std::uint64_t v) noexcept {
     telemetry::count(telemetry::Counter::k_enq_attempt);
@@ -232,7 +237,7 @@ class BasicVyukovQueue {
   };
 
   const std::size_t cap_;
-  std::vector<Cell> cells_;
+  topo::TopoArray<Cell> cells_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };

@@ -1,0 +1,311 @@
+#include "common/topo_alloc.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/counting_alloc.hpp"
+#include "common/topology.hpp"
+#include "telemetry/counters.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace membq {
+namespace topo {
+
+namespace {
+
+// Raw-syscall NUMA plumbing so the build has no libnuma dependency; on a
+// kernel without the syscalls (or a non-Linux platform) every call
+// degrades to "unbound" and the telemetry counter records it.
+#if defined(__linux__)
+
+constexpr int kMpolBind = 2;
+constexpr int kMpolInterleave = 3;
+constexpr unsigned kMpolFNode = 1u << 0;
+constexpr unsigned kMpolFAddr = 1u << 1;
+
+constexpr std::size_t kHugePageBytes = 2u << 20;
+constexpr std::size_t kPageBytes = 4096;
+
+long sys_mbind(void* addr, unsigned long len, int mode,
+               const unsigned long* nodemask, unsigned long maxnode) {
+#if defined(SYS_mbind)
+  return syscall(SYS_mbind, addr, len, mode, nodemask, maxnode, 0ul);
+#else
+  (void)addr;
+  (void)len;
+  (void)mode;
+  (void)nodemask;
+  (void)maxnode;
+  errno = ENOSYS;
+  return -1;
+#endif
+}
+
+long sys_get_mempolicy(int* mode, unsigned long* nodemask,
+                       unsigned long maxnode, void* addr, unsigned flags) {
+#if defined(SYS_get_mempolicy)
+  return syscall(SYS_get_mempolicy, mode, nodemask, maxnode, addr, flags);
+#else
+  (void)mode;
+  (void)nodemask;
+  (void)maxnode;
+  (void)addr;
+  (void)flags;
+  errno = ENOSYS;
+  return -1;
+#endif
+}
+
+std::size_t round_up(std::size_t n, std::size_t unit) {
+  return (n + unit - 1) / unit * unit;
+}
+
+// Apply the spec's mbind; true when the kernel accepted it. first-touch
+// deliberately binds nothing.
+bool apply_binding(void* base, std::size_t len, const MemPolicySpec& spec) {
+  if (spec.policy != MemPolicy::kBind &&
+      spec.policy != MemPolicy::kInterleave) {
+    return false;
+  }
+  constexpr unsigned long kMaxNode = 8 * sizeof(unsigned long);
+  unsigned long mask = 0;
+  int mode;
+  if (spec.policy == MemPolicy::kBind) {
+    mode = kMpolBind;
+    int node = spec.node;
+    if (node < 0) {
+      const auto& nodes = system().nodes();
+      node = nodes.empty() ? 0 : nodes.front();
+    }
+    if (node < 0 || static_cast<unsigned long>(node) >= kMaxNode) {
+      telemetry::count(telemetry::Counter::k_topo_bind_fallback);
+      return false;
+    }
+    mask = 1ul << node;
+  } else {
+    mode = kMpolInterleave;
+    for (int node : system().nodes()) {
+      if (node >= 0 && static_cast<unsigned long>(node) < kMaxNode) {
+        mask |= 1ul << node;
+      }
+    }
+    if (mask == 0) mask = 1ul;
+  }
+  if (sys_mbind(base, len, mode, &mask, kMaxNode + 1) != 0) {
+    telemetry::count(telemetry::Counter::k_topo_bind_fallback);
+    return false;
+  }
+  return true;
+}
+
+#endif  // __linux__
+
+std::atomic<int> g_default_policy{static_cast<int>(MemPolicy::kNone)};
+std::atomic<int> g_default_node{-1};
+std::atomic<int> g_default_huge{static_cast<int>(HugeMode::kAuto)};
+
+Region heap_alloc(std::size_t bytes, std::size_t align,
+                  const MemPolicySpec& spec) {
+  Region r;
+  r.bytes = bytes;
+  r.align = align;
+  r.policy = spec.policy;
+  if (align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+    r.base = ::operator new(bytes, std::align_val_t{align});
+  } else {
+    r.base = ::operator new(bytes);
+  }
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(MemPolicy p) noexcept {
+  switch (p) {
+    case MemPolicy::kNone:
+      return "none";
+    case MemPolicy::kFirstTouch:
+      return "first-touch";
+    case MemPolicy::kInterleave:
+      return "interleave";
+    case MemPolicy::kBind:
+      return "bind";
+  }
+  return "?";
+}
+
+std::string to_string(const MemPolicySpec& spec) {
+  std::string s = to_string(spec.policy);
+  if (spec.policy == MemPolicy::kBind && spec.node >= 0) {
+    s += ":" + std::to_string(spec.node);
+  }
+  if (spec.policy != MemPolicy::kNone) {
+    if (spec.huge == HugeMode::kAlways) s += ":huge";
+    if (spec.huge == HugeMode::kNever) s += ":nohuge";
+  }
+  return s;
+}
+
+bool mem_policy_from_string(const std::string& name, MemPolicySpec& out) {
+  MemPolicySpec spec;
+  std::string body = name;
+
+  // Peel an optional huge-mode suffix first.
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return body.size() >= n && body.compare(body.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(":huge")) {
+    spec.huge = HugeMode::kAlways;
+    body.resize(body.size() - 5);
+  } else if (ends_with(":nohuge")) {
+    spec.huge = HugeMode::kNever;
+    body.resize(body.size() - 7);
+  }
+
+  if (body == "none") {
+    if (spec.huge != HugeMode::kAuto) return false;  // none takes no suffix
+    spec.policy = MemPolicy::kNone;
+  } else if (body == "first-touch") {
+    spec.policy = MemPolicy::kFirstTouch;
+  } else if (body == "interleave") {
+    spec.policy = MemPolicy::kInterleave;
+  } else if (body.compare(0, 5, "bind:") == 0 && body.size() > 5) {
+    spec.policy = MemPolicy::kBind;
+    char* end = nullptr;
+    const long node = std::strtol(body.c_str() + 5, &end, 10);
+    if (end == nullptr || *end != '\0' || node < 0 || node > 1023) {
+      return false;
+    }
+    spec.node = static_cast<int>(node);
+  } else if (body == "bind") {
+    spec.policy = MemPolicy::kBind;  // node -1 = first allowed node
+  } else {
+    return false;
+  }
+  out = spec;
+  return true;
+}
+
+MemPolicySpec default_mem_policy() noexcept {
+  MemPolicySpec spec;
+  spec.policy =
+      static_cast<MemPolicy>(g_default_policy.load(std::memory_order_relaxed));
+  spec.node = g_default_node.load(std::memory_order_relaxed);
+  spec.huge =
+      static_cast<HugeMode>(g_default_huge.load(std::memory_order_relaxed));
+  return spec;
+}
+
+void set_default_mem_policy(const MemPolicySpec& spec) noexcept {
+  g_default_policy.store(static_cast<int>(spec.policy),
+                         std::memory_order_relaxed);
+  g_default_node.store(spec.node, std::memory_order_relaxed);
+  g_default_huge.store(static_cast<int>(spec.huge),
+                       std::memory_order_relaxed);
+}
+
+Region alloc(std::size_t bytes, std::size_t align, const MemPolicySpec& spec) {
+  if (bytes == 0) bytes = 1;
+  if (align == 0) align = alignof(std::max_align_t);
+
+  // Policy none = exactly the pre-topology heap path (counted by the
+  // global operator new); also the portability fallback.
+  if (spec.policy == MemPolicy::kNone) return heap_alloc(bytes, align, spec);
+
+#if defined(__linux__)
+  // mmap returns page-aligned memory; the rings ask for at most
+  // cache-line alignment, so no padding dance is needed.
+  if (align <= kPageBytes) {
+    const bool want_huge =
+        spec.huge == HugeMode::kAlways ||
+        (spec.huge == HugeMode::kAuto && bytes >= kHugePageBytes);
+
+    void* base = MAP_FAILED;
+    if (want_huge) {
+      const std::size_t len = round_up(bytes, kHugePageBytes);
+      base = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+      if (base != MAP_FAILED) {
+        Region r;
+        r.base = base;
+        r.bytes = bytes;
+        r.map_bytes = len;
+        r.align = align;
+        r.huge = true;
+        r.policy = spec.policy;
+        r.bound = apply_binding(base, len, spec);
+        telemetry::count(telemetry::Counter::k_topo_huge_alloc);
+        AllocCounter::instance().add_external(bytes);
+        return r;
+      }
+      // No hugetlb pool (HugePages_Total=0 is the common container
+      // state): fall through to regular pages, transparently.
+      telemetry::count(telemetry::Counter::k_topo_huge_fallback);
+    }
+
+    const std::size_t len = round_up(bytes, kPageBytes);
+    base = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base != MAP_FAILED) {
+      Region r;
+      r.base = base;
+      r.bytes = bytes;
+      r.map_bytes = len;
+      r.align = align;
+      r.policy = spec.policy;
+      r.bound = apply_binding(base, len, spec);
+      AllocCounter::instance().add_external(bytes);
+      return r;
+    }
+  }
+#endif
+
+  // mmap unavailable or over-aligned request: the heap still satisfies
+  // the placement-free semantics (policy recorded for the locality
+  // column; binding simply did not happen).
+  if (spec.policy == MemPolicy::kBind || spec.policy == MemPolicy::kInterleave) {
+    telemetry::count(telemetry::Counter::k_topo_bind_fallback);
+  }
+  return heap_alloc(bytes, align, spec);
+}
+
+void release(const Region& r) noexcept {
+  if (r.base == nullptr) return;
+  if (r.map_bytes != 0) {
+#if defined(__linux__)
+    ::munmap(r.base, r.map_bytes);
+#endif
+    AllocCounter::instance().sub_external(r.bytes);
+    return;
+  }
+  if (r.align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+    ::operator delete(r.base, std::align_val_t{r.align});
+  } else {
+    ::operator delete(r.base);
+  }
+}
+
+int node_of_page(const void* p) noexcept {
+  if (p == nullptr) return -1;
+#if defined(__linux__)
+  int node = -1;
+  if (sys_get_mempolicy(&node, nullptr, 0, const_cast<void*>(p),
+                        kMpolFNode | kMpolFAddr) != 0) {
+    return -1;
+  }
+  return node;
+#else
+  return -1;
+#endif
+}
+
+}  // namespace topo
+}  // namespace membq

@@ -1,0 +1,190 @@
+// Topology-aware backing store for the hot structures: ring slot arrays,
+// segments, and announcement arrays.
+//
+// A MemPolicySpec names where the pages behind a structure should live
+// and whether 2 MB huge pages should back them (pmem-bench's huge_alloc
+// discipline: hugepage mmap + mbind, NUMA-local by default):
+//
+//   none         — ::operator new, exactly the pre-topology behavior.
+//                  This is the process default; nothing changes until a
+//                  caller (or --mem-policy=) asks for placement.
+//   first-touch  — anonymous mmap, no binding: pages land on the node of
+//                  the thread that first touches them (the kernel
+//                  default, made explicit so first-touch vs constructor-
+//                  touch is a measurable axis).
+//   interleave   — mbind(MPOL_INTERLEAVE) across all allowed nodes.
+//   bind:<node>  — mbind(MPOL_BIND) to one node (per-shard placement).
+//
+// Suffix ":huge" forces a 2 MB-page attempt, ":nohuge" forbids it; the
+// default (auto) attempts huge pages only for allocations >= 2 MB. Every
+// downgrade is transparent AND recorded: no hugetlb pool -> regular
+// pages (telemetry topo_huge_fallback), no mbind support (non-Linux, or
+// a kernel without the syscall) -> unbound pages (topo_bind_fallback).
+// On this 1-CPU, no-hugepage container every policy therefore still
+// succeeds and behaves like plain memory — only the counters and the
+// locality column tell the difference.
+//
+// Accounting: the mmap path records its *requested* bytes with
+// AllocCounter (add_external), so the E9 overhead tables measure the
+// same quantity whichever backing a policy selected; `none` goes through
+// operator new and is counted as before.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace membq {
+namespace topo {
+
+enum class MemPolicy { kNone, kFirstTouch, kInterleave, kBind };
+enum class HugeMode { kAuto, kAlways, kNever };
+
+struct MemPolicySpec {
+  MemPolicy policy = MemPolicy::kNone;
+  int node = -1;  // kBind target; -1 = first allowed node
+  HugeMode huge = HugeMode::kAuto;
+};
+
+const char* to_string(MemPolicy p) noexcept;
+
+// Wire form: "none", "first-touch", "interleave", "bind:2", plus an
+// optional ":huge" / ":nohuge" suffix on the non-none policies.
+std::string to_string(const MemPolicySpec& spec);
+bool mem_policy_from_string(const std::string& name, MemPolicySpec& out);
+
+// Process-wide default picked up by every queue constructor; the bench
+// harness sets it from --mem-policy=. Starts as {kNone}.
+MemPolicySpec default_mem_policy() noexcept;
+void set_default_mem_policy(const MemPolicySpec& spec) noexcept;
+
+// One allocation's ground truth, returned by alloc() and needed by
+// release(). map_bytes == 0 means the heap (operator new) path.
+struct Region {
+  void* base = nullptr;
+  std::size_t bytes = 0;      // requested (accounted) size
+  std::size_t map_bytes = 0;  // mmap length; 0 = heap allocation
+  std::size_t align = 0;
+  bool huge = false;   // actually backed by 2 MB pages
+  bool bound = false;  // mbind applied successfully
+  MemPolicy policy = MemPolicy::kNone;
+};
+
+// Allocate `bytes` at `align` (align <= 4096; the slot arrays use cache-
+// line alignment at most) under `spec`. Throws std::bad_alloc only when
+// even the final operator-new fallback fails.
+Region alloc(std::size_t bytes, std::size_t align, const MemPolicySpec& spec);
+void release(const Region& r) noexcept;
+
+// NUMA node currently backing the page at `p` (get_mempolicy with
+// MPOL_F_NODE|MPOL_F_ADDR); -1 when the kernel or platform cannot say.
+// The page must have been touched, or the kernel reports the policy
+// node rather than a resident one.
+int node_of_page(const void* p) noexcept;
+
+// What the locality columns report per structure: the policy it was
+// allocated under, whether huge pages actually back it, and the node its
+// first page resides on (-1 = unknown).
+struct Placement {
+  MemPolicy policy = MemPolicy::kNone;
+  bool huge = false;
+  int node = -1;
+};
+
+namespace detail {
+template <class Q, class = void>
+struct HasPlacement : std::false_type {};
+template <class Q>
+struct HasPlacement<
+    Q, std::void_t<decltype(std::declval<const Q&>().placement())>>
+    : std::true_type {};
+}  // namespace detail
+
+// Uniform placement probe: queues that expose placement() report it,
+// everything else (adapters, third-party types) reports the default
+// "no placement" value. Lets the driver and registry stamp the locality
+// column without per-queue special cases.
+template <class Q>
+Placement placement_of(const Q& q) noexcept {
+  if constexpr (detail::HasPlacement<Q>::value) {
+    return q.placement();
+  } else {
+    (void)q;
+    return Placement{};
+  }
+}
+
+// Fixed-size array of default-constructed T with policy-controlled
+// backing — the drop-in replacement for the std::vector/new[] slot
+// arrays in the ring queues.
+template <class T>
+class TopoArray {
+ public:
+  TopoArray() = default;
+
+  TopoArray(std::size_t n, const MemPolicySpec& spec) : n_(n) {
+    if (n == 0) return;
+    region_ = alloc(n * sizeof(T), alignof(T), spec);
+    T* d = static_cast<T*>(region_.base);
+    for (std::size_t i = 0; i < n; ++i) new (&d[i]) T();
+  }
+
+  TopoArray(TopoArray&& o) noexcept : region_(o.region_), n_(o.n_) {
+    o.region_ = Region{};
+    o.n_ = 0;
+  }
+
+  TopoArray& operator=(TopoArray&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      region_ = o.region_;
+      n_ = o.n_;
+      o.region_ = Region{};
+      o.n_ = 0;
+    }
+    return *this;
+  }
+
+  TopoArray(const TopoArray&) = delete;
+  TopoArray& operator=(const TopoArray&) = delete;
+
+  ~TopoArray() { destroy(); }
+
+  std::size_t size() const noexcept { return n_; }
+  T* data() noexcept { return static_cast<T*>(region_.base); }
+  const T* data() const noexcept {
+    return static_cast<const T*>(region_.base);
+  }
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + n_; }
+
+  Placement placement() const noexcept {
+    Placement p;
+    if (region_.base == nullptr) return p;
+    p.policy = region_.policy;
+    p.huge = region_.huge;
+    p.node = node_of_page(region_.base);
+    return p;
+  }
+
+ private:
+  void destroy() noexcept {
+    if (region_.base == nullptr) return;
+    T* d = data();
+    for (std::size_t i = n_; i > 0; --i) d[i - 1].~T();
+    release(region_);
+    region_ = Region{};
+    n_ = 0;
+  }
+
+  Region region_{};
+  std::size_t n_ = 0;
+};
+
+}  // namespace topo
+}  // namespace membq

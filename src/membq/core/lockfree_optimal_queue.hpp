@@ -60,6 +60,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/topo_alloc.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/no_reclaim.hpp"
@@ -95,11 +96,13 @@ class LockFreeOptimalQueue {
   // round (index / capacity). Bit 63 stays reserved for DCSS markers.
   static constexpr std::uint64_t kBotFlag = std::uint64_t{1} << 62;
 
-  LockFreeOptimalQueue(std::size_t capacity, std::size_t max_threads)
+  LockFreeOptimalQueue(
+      std::size_t capacity, std::size_t max_threads,
+      const topo::MemPolicySpec& pol = topo::default_mem_policy())
       : cap_(capacity),
         max_threads_(max_threads == 0 ? 1 : max_threads),
-        cells_(new std::atomic<std::uint64_t>[capacity]),
-        ann_(new std::atomic<OpRec*>[max_threads_]),
+        cells_(capacity, pol),
+        ann_(max_threads_, pol),
         slot_used_(new std::atomic<bool>[max_threads_]),
         dcss_(max_threads_),
         domain_(max_threads_) {
@@ -123,6 +126,9 @@ class LockFreeOptimalQueue {
 
   std::size_t capacity() const noexcept { return cap_; }
   std::size_t max_threads() const noexcept { return max_threads_; }
+
+  // Where the element array actually landed (policy, hugepage, node).
+  topo::Placement placement() const noexcept { return cells_.placement(); }
 
   const Domain& domain() const noexcept { return domain_; }
 
@@ -400,8 +406,8 @@ class LockFreeOptimalQueue {
 
   const std::size_t cap_;
   const std::size_t max_threads_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;  // the C words
-  std::unique_ptr<std::atomic<OpRec*>[]> ann_;  // Θ(T) announcement array
+  topo::TopoArray<std::atomic<std::uint64_t>> cells_;  // the C words
+  topo::TopoArray<std::atomic<OpRec*>> ann_;  // Θ(T) announcement array
   std::unique_ptr<std::atomic<bool>[]> slot_used_;
   DcssDomain dcss_;  // Θ(T) descriptor pool guarding the vacate
   Domain domain_;    // Θ(T) reclamation state for announcement records

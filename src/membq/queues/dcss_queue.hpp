@@ -24,8 +24,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
+#include "common/topo_alloc.hpp"
 #include "sync/backoff.hpp"
 #include "telemetry/counters.hpp"
 #include "sync/dcss.hpp"
@@ -42,14 +42,18 @@ class BasicDcssQueue {
 
   explicit BasicDcssQueue(
       std::size_t capacity,
-      std::size_t max_threads = BasicDcssDomain<O>::kDefaultMaxThreads)
-      : cap_(capacity), cells_(capacity), domain_(max_threads) {
+      std::size_t max_threads = BasicDcssDomain<O>::kDefaultMaxThreads,
+      const topo::MemPolicySpec& pol = topo::default_mem_policy())
+      : cap_(capacity), cells_(capacity, pol), domain_(max_threads) {
     assert(capacity > 0);
     // Pre-publication initialization.
     for (auto& c : cells_) c.store(kBot, O::init);
   }
 
   std::size_t capacity() const noexcept { return cap_; }
+
+  // Where the slot array actually landed (policy, hugepage, node).
+  topo::Placement placement() const noexcept { return cells_.placement(); }
   BasicDcssDomain<O>& domain() noexcept { return domain_; }
 
   class Handle {
@@ -131,7 +135,7 @@ class BasicDcssQueue {
   }
 
   const std::size_t cap_;
-  std::vector<std::atomic<std::uint64_t>> cells_;
+  topo::TopoArray<std::atomic<std::uint64_t>> cells_;
   BasicDcssDomain<O> domain_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};

@@ -40,8 +40,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
+#include "common/topo_alloc.hpp"
 #include "sync/backoff.hpp"
 #include "telemetry/counters.hpp"
 #include "sync/memory_order.hpp"
@@ -54,8 +54,10 @@ class BasicDistinctQueue {
   static constexpr char kName[] = "distinct(L2)";
   static constexpr std::uint64_t kBotBit = std::uint64_t{1} << 63;
 
-  explicit BasicDistinctQueue(std::size_t capacity)
-      : cap_(capacity), cells_(capacity) {
+  explicit BasicDistinctQueue(
+      std::size_t capacity,
+      const topo::MemPolicySpec& pol = topo::default_mem_policy())
+      : cap_(capacity), cells_(capacity, pol) {
     assert(capacity > 0);
     // Pre-publication: the constructor finishes before any other thread
     // can hold a reference.
@@ -63,6 +65,9 @@ class BasicDistinctQueue {
   }
 
   std::size_t capacity() const noexcept { return cap_; }
+
+  // Where the slot array actually landed (policy, hugepage, node).
+  topo::Placement placement() const noexcept { return cells_.placement(); }
 
   bool try_enqueue(std::uint64_t v) noexcept {
     assert((v & kBotBit) == 0 && "values must keep bit 63 clear");
@@ -306,7 +311,7 @@ class BasicDistinctQueue {
   }
 
   const std::size_t cap_;
-  std::vector<std::atomic<std::uint64_t>> cells_;
+  topo::TopoArray<std::atomic<std::uint64_t>> cells_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };

@@ -25,8 +25,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
+#include "common/topo_alloc.hpp"
 #include "sync/backoff.hpp"
 #include "telemetry/counters.hpp"
 #include "sync/llsc.hpp"
@@ -40,8 +40,10 @@ class BasicLlscQueue {
   static constexpr char kName[] = "llsc(L3)";
   static constexpr std::uint64_t kBot = ~std::uint64_t{0};
 
-  explicit BasicLlscQueue(std::size_t capacity)
-      : cap_(capacity), cells_(capacity) {
+  explicit BasicLlscQueue(
+      std::size_t capacity,
+      const topo::MemPolicySpec& pol = topo::default_mem_policy())
+      : cap_(capacity), cells_(capacity, pol) {
     assert(capacity > 0);
     for (auto& c : cells_) {
       const auto link = c.ll();
@@ -50,6 +52,9 @@ class BasicLlscQueue {
   }
 
   std::size_t capacity() const noexcept { return cap_; }
+
+  // Where the slot array actually landed (policy, hugepage, node).
+  topo::Placement placement() const noexcept { return cells_.placement(); }
 
   bool try_enqueue(std::uint64_t v) noexcept {
     assert(v != kBot && "kBot is reserved");
@@ -130,7 +135,7 @@ class BasicLlscQueue {
   }
 
   const std::size_t cap_;
-  std::vector<BasicLLSCCell<O>> cells_;
+  topo::TopoArray<BasicLLSCCell<O>> cells_;
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
 };

@@ -1,0 +1,349 @@
+// Topology discovery against a committed sysfs fixture (a 2-node SMT
+// machine this container does not have), the cpuset-correct pinning
+// regression, and the topo_alloc fallback matrix. Everything here must
+// pass on the 1-CPU, no-hugepage, single-node container — the fallback
+// paths are exercised for real, never skipped.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/counting_alloc.hpp"
+#include "common/pinning.hpp"
+#include "common/topo_alloc.hpp"
+#include "common/topology.hpp"
+#include "telemetry/counters.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace {
+
+using membq::topo::HugeMode;
+using membq::topo::MemPolicy;
+using membq::topo::MemPolicySpec;
+
+const std::string kFixture =
+    std::string(MEMBQ_TEST_FIXTURE_DIR) + "/sysfs_2node_smt";
+
+TEST(TopologyTest, ParseCpulistRangesAndSingles) {
+  std::vector<int> out;
+  ASSERT_TRUE(membq::topo::parse_cpulist("0-3,8,10-11", out));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  ASSERT_TRUE(membq::topo::parse_cpulist("5", out));
+  EXPECT_EQ(out, std::vector<int>{5});
+  // Duplicates/overlaps collapse; order is ascending regardless of input.
+  ASSERT_TRUE(membq::topo::parse_cpulist("3,1-2,2", out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  ASSERT_TRUE(membq::topo::parse_cpulist("", out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TopologyTest, ParseCpulistRejectsMalformed) {
+  std::vector<int> out{42};
+  EXPECT_FALSE(membq::topo::parse_cpulist("a-b", out));
+  EXPECT_FALSE(membq::topo::parse_cpulist("3-1", out));
+  EXPECT_FALSE(membq::topo::parse_cpulist("1,,2", out));
+  EXPECT_FALSE(membq::topo::parse_cpulist("-1", out));
+  EXPECT_FALSE(membq::topo::parse_cpulist("1-", out));
+  // Failed parses leave `out` untouched.
+  EXPECT_EQ(out, std::vector<int>{42});
+}
+
+// The fixture: node0 = cpus 0-3 (package 0, core0 = {0,2}, core1 = {1,3}),
+// node1 = cpus 4-7 (package 1, core0 = {4,6}, core1 = {5,7}).
+TEST(TopologyTest, FixtureFullDiscovery) {
+  const auto t = membq::topo::discover(kFixture, {});
+  EXPECT_EQ(t.allowed_cpus(), 8u);
+  EXPECT_EQ(t.nodes(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(t.physical_cores(), 4u);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+  EXPECT_EQ(t.node_of(7), 1);
+  EXPECT_EQ(t.node_of(99), -1);
+  // Cores-first: one CPU per physical core (node-major), then the SMT
+  // siblings in the same core order.
+  EXPECT_EQ(t.pin_order(), (std::vector<int>{0, 1, 4, 5, 2, 3, 6, 7}));
+  EXPECT_EQ(t.cpus_on_node(0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(t.cpus_on_node(1), (std::vector<int>{4, 5, 6, 7}));
+  // SMT ranks: lowest-id sibling of each core is rank 0.
+  for (const auto& c : t.cpus()) {
+    EXPECT_EQ(c.smt_rank, c.id >= 2 && (c.id < 4 || c.id >= 6) ? 1 : 0)
+        << "cpu " << c.id;
+  }
+}
+
+TEST(TopologyTest, FixtureRestrictedToCpusetSubset) {
+  // taskset-style restriction to {1, 3, 5}: cpus 1 and 3 are SMT siblings
+  // of one core, 5 sits alone on node 1.
+  const auto t = membq::topo::discover(kFixture, {1, 3, 5});
+  EXPECT_EQ(t.allowed_cpus(), 3u);
+  EXPECT_EQ(t.nodes(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(t.physical_cores(), 2u);
+  // Rank-0 CPUs of both cores (1 on node0, 5 on node1) precede the
+  // sibling 3 — never two siblings before a free physical core.
+  EXPECT_EQ(t.pin_order(), (std::vector<int>{1, 5, 3}));
+  EXPECT_EQ(t.pin_cpu(0), 1);
+  EXPECT_EQ(t.pin_cpu(1), 5);
+  EXPECT_EQ(t.pin_cpu(2), 3);
+  EXPECT_EQ(t.pin_cpu(3), 1);  // wraps
+}
+
+TEST(TopologyTest, FixtureRestrictedToOneNode) {
+  const auto t = membq::topo::discover(kFixture, {4, 5, 6, 7});
+  EXPECT_EQ(t.nodes(), std::vector<int>{1});
+  EXPECT_EQ(t.physical_cores(), 2u);
+  EXPECT_EQ(t.pin_order(), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_TRUE(t.cpus_on_node(0).empty());
+}
+
+TEST(TopologyTest, MissingSysfsDegradesToFlatTopology) {
+  // No sysfs at all: each allowed CPU is its own core on node 0 and the
+  // pin order is the identity — the pre-topology behavior.
+  const auto t =
+      membq::topo::discover(kFixture + "/does-not-exist", {0, 1, 2});
+  EXPECT_EQ(t.allowed_cpus(), 3u);
+  EXPECT_EQ(t.nodes(), std::vector<int>{0});
+  EXPECT_EQ(t.physical_cores(), 3u);
+  EXPECT_EQ(t.pin_order(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TopologyTest, RealSystemSanity) {
+  const auto& t = membq::topo::system();
+  EXPECT_GE(t.allowed_cpus(), 1u);
+  EXPECT_GE(t.node_count(), 1u);
+  EXPECT_GE(t.physical_cores(), 1u);
+  EXPECT_EQ(t.pin_order().size(), t.allowed_cpus());
+  // The pin order is a permutation of the allowed set.
+  for (int cpu : t.pin_order()) EXPECT_NE(t.node_of(cpu), -1);
+  // current_node() is either unknowable or one of the discovered nodes.
+  const int n = membq::topo::current_node();
+  if (n != -1) {
+    EXPECT_NE(std::find(t.nodes().begin(), t.nodes().end(), n),
+              t.nodes().end());
+  }
+}
+
+TEST(PinningTest, PolicyStringsRoundTrip) {
+  membq::PinPolicy p = membq::PinPolicy::kNone;
+  ASSERT_TRUE(membq::pin_policy_from_string("cores-first", p));
+  EXPECT_EQ(p, membq::PinPolicy::kCoresFirst);
+  ASSERT_TRUE(membq::pin_policy_from_string("sequential", p));
+  EXPECT_EQ(p, membq::PinPolicy::kSequential);
+  ASSERT_TRUE(membq::pin_policy_from_string("none", p));
+  EXPECT_EQ(p, membq::PinPolicy::kNone);
+  p = membq::PinPolicy::kSequential;
+  EXPECT_FALSE(membq::pin_policy_from_string("bogus", p));
+  EXPECT_EQ(p, membq::PinPolicy::kSequential);
+  EXPECT_STREQ(membq::to_string(membq::PinPolicy::kCoresFirst),
+               "cores-first");
+}
+
+#if defined(__linux__)
+// THE cpuset regression: under a restricted affinity mask (taskset,
+// cgroup cpuset), online_cpus() must count the *allowed* CPUs and
+// pin_current_thread(k) must target the k-th allowed CPU — the old code
+// counted _SC_NPROCESSORS_ONLN and pinned to `k % online`, which under
+// `taskset -c 0` on a multi-CPU host computed CPUs the kernel then
+// rejected (or worse, accepted for the wrong k).
+TEST(PinningTest, RestrictedAffinityMaskIsHonored) {
+  cpu_set_t saved;
+  CPU_ZERO(&saved);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(saved), &saved), 0);
+
+  // Restrict this thread to the single lowest allowed CPU.
+  int first = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &saved)) {
+      first = c;
+      break;
+    }
+  }
+  ASSERT_GE(first, 0);
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(first, &one);
+  ASSERT_EQ(sched_setaffinity(0, sizeof(one), &one), 0);
+
+  EXPECT_EQ(membq::online_cpus(), 1u);
+  // Every k wraps onto the only allowed CPU; pinning must succeed and the
+  // effective mask must stay inside the restriction.
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_TRUE(membq::pin_current_thread(k, membq::PinPolicy::kCoresFirst));
+    EXPECT_TRUE(
+        membq::pin_current_thread(k, membq::PinPolicy::kSequential));
+    cpu_set_t now;
+    CPU_ZERO(&now);
+    ASSERT_EQ(sched_getaffinity(0, sizeof(now), &now), 0);
+    EXPECT_EQ(CPU_COUNT(&now), 1);
+    EXPECT_TRUE(CPU_ISSET(first, &now)) << "k=" << k;
+  }
+
+  ASSERT_EQ(sched_setaffinity(0, sizeof(saved), &saved), 0);
+}
+#endif  // __linux__
+
+TEST(TopoAllocTest, MemPolicyStringsRoundTrip) {
+  MemPolicySpec s;
+  ASSERT_TRUE(membq::topo::mem_policy_from_string("none", s));
+  EXPECT_EQ(s.policy, MemPolicy::kNone);
+  ASSERT_TRUE(membq::topo::mem_policy_from_string("first-touch", s));
+  EXPECT_EQ(s.policy, MemPolicy::kFirstTouch);
+  EXPECT_EQ(s.huge, HugeMode::kAuto);
+  ASSERT_TRUE(membq::topo::mem_policy_from_string("interleave:huge", s));
+  EXPECT_EQ(s.policy, MemPolicy::kInterleave);
+  EXPECT_EQ(s.huge, HugeMode::kAlways);
+  ASSERT_TRUE(membq::topo::mem_policy_from_string("bind:2:nohuge", s));
+  EXPECT_EQ(s.policy, MemPolicy::kBind);
+  EXPECT_EQ(s.node, 2);
+  EXPECT_EQ(s.huge, HugeMode::kNever);
+  ASSERT_TRUE(membq::topo::mem_policy_from_string("bind", s));
+  EXPECT_EQ(s.node, -1);  // unpinned bind: the sharded layer stripes it
+
+  MemPolicySpec untouched;
+  untouched.node = 7;
+  EXPECT_FALSE(membq::topo::mem_policy_from_string("bogus", untouched));
+  EXPECT_FALSE(membq::topo::mem_policy_from_string("none:huge", untouched));
+  EXPECT_FALSE(membq::topo::mem_policy_from_string("bind:x", untouched));
+  EXPECT_EQ(untouched.node, 7);
+
+  // to_string -> from_string round trips.
+  for (const char* wire :
+       {"none", "first-touch", "interleave", "bind:1", "first-touch:huge",
+        "interleave:nohuge"}) {
+    MemPolicySpec parsed;
+    ASSERT_TRUE(membq::topo::mem_policy_from_string(wire, parsed)) << wire;
+    EXPECT_EQ(membq::topo::to_string(parsed), wire);
+  }
+}
+
+TEST(TopoAllocTest, NonePolicyUsesHeapPath) {
+  MemPolicySpec spec;  // kNone
+  const auto r = membq::topo::alloc(4096, 64, spec);
+  ASSERT_NE(r.base, nullptr);
+  EXPECT_EQ(r.map_bytes, 0u);  // heap, not mmap
+  EXPECT_FALSE(r.huge);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r.base) % 64, 0u);
+  std::memset(r.base, 0xab, 4096);
+  membq::topo::release(r);
+}
+
+// Forced huge pages on a machine whose hugetlb pool may be empty (this
+// container: HugePages_Total = 0): the allocation must still succeed at
+// the requested alignment, and telemetry must record either the huge
+// success or the downgrade — the fallback is transparent but never
+// silent.
+TEST(TopoAllocTest, HugeAlwaysFallsBackTransparently) {
+  const auto before = membq::telemetry::snapshot();
+  MemPolicySpec spec;
+  spec.policy = MemPolicy::kFirstTouch;
+  spec.huge = HugeMode::kAlways;
+  const auto r = membq::topo::alloc(64 * 1024, 4096, spec);
+  ASSERT_NE(r.base, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r.base) % 4096, 0u);
+  // Touch every page: the region must be usable whichever backing won.
+  std::memset(r.base, 0x5a, 64 * 1024);
+  if (membq::telemetry::enabled()) {
+    const auto d = membq::telemetry::snapshot().delta_since(before);
+    using membq::telemetry::Counter;
+    EXPECT_GE(d[Counter::k_topo_huge_alloc] +
+                  d[Counter::k_topo_huge_fallback],
+              1u);
+    EXPECT_EQ(d[Counter::k_topo_huge_alloc] >= 1, r.huge);
+  }
+  membq::topo::release(r);
+}
+
+TEST(TopoAllocTest, MmapPathKeepsAllocCounterBalanced) {
+  // The mmap path records its *requested* bytes with AllocCounter so the
+  // E9 tables measure the same quantity as the operator-new path.
+  auto& counter = membq::AllocCounter::instance();
+  MemPolicySpec spec;
+  spec.policy = MemPolicy::kFirstTouch;
+  const std::size_t live0 = counter.live_bytes();
+  const auto r = membq::topo::alloc(10000, 64, spec);
+  ASSERT_NE(r.base, nullptr);
+  const std::size_t live1 = counter.live_bytes();
+  membq::topo::release(r);
+  const std::size_t live2 = counter.live_bytes();
+  EXPECT_EQ(live1, live0 + 10000);
+  EXPECT_EQ(live2, live0);
+}
+
+TEST(TopoAllocTest, BindPolicySucceedsOnAnyMachine) {
+  // bind to the first allowed node: on a 1-node box mbind either applies
+  // trivially or is refused and counted — either way the memory works.
+  MemPolicySpec spec;
+  spec.policy = MemPolicy::kBind;
+  const auto r = membq::topo::alloc(8192, 64, spec);
+  ASSERT_NE(r.base, nullptr);
+  std::memset(r.base, 0x11, 8192);
+  // A touched page's node, when the kernel can report it, must be one of
+  // the system's discovered nodes.
+  const int n = membq::topo::node_of_page(r.base);
+  if (n >= 0) {
+    const auto& nodes = membq::topo::system().nodes();
+    EXPECT_NE(std::find(nodes.begin(), nodes.end(), n), nodes.end());
+  }
+  membq::topo::release(r);
+}
+
+TEST(TopoAllocTest, TopoArrayConstructsAndReportsPlacement) {
+  MemPolicySpec spec;
+  spec.policy = MemPolicy::kFirstTouch;
+  membq::topo::TopoArray<std::uint64_t> a(1024, spec);
+  ASSERT_EQ(a.size(), 1024u);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = i * 3;
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], i * 3);
+  const auto p = a.placement();
+  EXPECT_EQ(p.policy, MemPolicy::kFirstTouch);
+
+  // Move transfers ownership; the source becomes empty, not double-freed.
+  membq::topo::TopoArray<std::uint64_t> b(std::move(a));
+  EXPECT_EQ(b.size(), 1024u);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b[7], 21u);
+}
+
+TEST(TopoAllocTest, TopoArrayRespectsOverAlignment) {
+  struct alignas(64) Padded {
+    std::uint64_t v = 0;
+    char pad[56];
+  };
+  MemPolicySpec spec;
+  spec.policy = MemPolicy::kFirstTouch;
+  membq::topo::TopoArray<Padded> a(16, spec);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % 64, 0u);
+  // And on the heap path too.
+  MemPolicySpec none;
+  membq::topo::TopoArray<Padded> h(16, none);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(h.data()) % 64, 0u);
+}
+
+TEST(TopoAllocTest, PlacementOfFallsBackForForeignTypes) {
+  struct NoPlacement {};
+  NoPlacement x;
+  const auto p = membq::topo::placement_of(x);
+  EXPECT_EQ(p.policy, MemPolicy::kNone);
+  EXPECT_EQ(p.node, -1);
+  EXPECT_FALSE(p.huge);
+}
+
+TEST(TopoAllocTest, DefaultPolicyIsProcessWide) {
+  const MemPolicySpec saved = membq::topo::default_mem_policy();
+  MemPolicySpec spec;
+  spec.policy = MemPolicy::kInterleave;
+  spec.huge = HugeMode::kNever;
+  membq::topo::set_default_mem_policy(spec);
+  const MemPolicySpec got = membq::topo::default_mem_policy();
+  EXPECT_EQ(got.policy, MemPolicy::kInterleave);
+  EXPECT_EQ(got.huge, HugeMode::kNever);
+  membq::topo::set_default_mem_policy(saved);
+}
+
+}  // namespace
